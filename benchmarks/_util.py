@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper and emits a
+paper-formatted text block: printed to stdout (visible with ``-s``)
+and saved under ``benchmarks/out/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+def emit(name: str, text: str) -> str:
+    """Print and persist one bench's output block."""
+    OUT_DIR.mkdir(exist_ok=True)
+    banner = f"\n===== {name} =====\n"
+    block = banner + text.rstrip() + "\n"
+    print(block)
+    (OUT_DIR / f"{name}.txt").write_text(block, encoding="utf-8")
+    return block
+
+
+def once(benchmark, fn):
+    """Run a slow simulation exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

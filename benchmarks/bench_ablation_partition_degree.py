@@ -1,0 +1,61 @@
+"""Ablation: step time vs pipeline partition degree r.
+
+The paper treats choosing r as an orthogonal problem (Section 4,
+citing PipeMoE [43]) and notes the trade-off: larger r overlaps more
+but shrinks per-kernel work (launch overhead + lower arithmetic
+intensity) and multiplies per-invocation codec costs.
+
+This bench sweeps r for two regimes — the huge ablation layer (where
+overlap pays) and CT-MoE's small layer (where chunking overhead
+dominates) — demonstrating why an adaptive degree is necessary.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import paper_testbed
+from repro.collectives import get_a2a
+from repro.compression import get_compressor
+from repro.core import Profiler, get_scheduler
+from repro.models import ablation_layer, ct_moe
+
+from _util import emit, once
+
+DEGREES = (1, 2, 3, 4, 6, 8)
+
+
+def run_partition_sweep():
+    spec = paper_testbed()
+    profiler = Profiler(
+        spec, a2a=get_a2a("pipe"), compressor=get_compressor("zfp")
+    )
+    scheduler = get_scheduler("optsche")
+    table = {}
+    for label, cfg in (("ablation-layer", ablation_layer()), ("ct-moe-layer", ct_moe(12))):
+        row = {}
+        for r in DEGREES:
+            durations = profiler.profile_layer(cfg, r)
+            row[r] = scheduler.schedule(r, durations).makespan
+        table[label] = row
+    return table
+
+
+def render(table) -> str:
+    lines = [f"{'layer':<16}" + "".join(f" r={r:<9}" for r in DEGREES)]
+    for label, row in table.items():
+        cells = "".join(f" {row[r] * 1e3:>8.2f}ms" for r in DEGREES)
+        best = min(row, key=row.get)
+        lines.append(f"{label:<16}{cells}   (best r={best})")
+    return "\n".join(lines)
+
+
+def test_partition_degree_tradeoff(benchmark):
+    table = once(benchmark, run_partition_sweep)
+    emit("ablation_partition_degree", render(table))
+    big = table["ablation-layer"]
+    small = table["ct-moe-layer"]
+    # Large layer: some pipelining beats none.
+    assert min(big[r] for r in DEGREES if r > 1) < big[1]
+    # Small layer: r=1 is optimal (chunking overhead dominates).
+    assert small[1] <= min(small.values()) + 1e-9
+    # Extreme chunking is never free on the small layer.
+    assert small[8] > small[1]

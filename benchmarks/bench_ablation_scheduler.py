@@ -1,0 +1,65 @@
+"""Ablation: scheduling policies vs the brute-force optimum.
+
+Runs the three built-in policies and the exhaustive search over 200
+random task-duration profiles (r=2) and reports how often and by how
+much each policy trails the true optimum — verifying Theorem 1
+(OptSche always matches) and quantifying the cost of the baselines'
+orders, which is the gap the paper's scheduler feature closes.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import TaskDurations, get_scheduler
+
+from _util import emit, once
+
+TRIALS = 200
+POLICIES = ("sequential", "chunk-pipeline", "optsche")
+
+
+def run_scheduler_study():
+    rng = random.Random(2024)
+    gaps = {name: [] for name in POLICIES}
+    optimal_matches = 0
+    for _ in range(TRIALS):
+        durations = TaskDurations(
+            compress=rng.uniform(0.05, 2.0),
+            a2a=rng.uniform(0.05, 4.0),
+            decompress=rng.uniform(0.05, 2.0),
+            expert=rng.uniform(0.05, 4.0),
+        )
+        best = get_scheduler("brute-force").schedule(2, durations).makespan
+        for name in POLICIES:
+            makespan = get_scheduler(name).schedule(2, durations).makespan
+            gaps[name].append(makespan / best)
+        if abs(gaps["optsche"][-1] - 1.0) < 1e-9:
+            optimal_matches += 1
+    return gaps, optimal_matches
+
+
+def render(gaps, optimal_matches) -> str:
+    lines = [
+        f"{'policy':<16} {'mean/opt':>9} {'worst/opt':>10} {'optimal%':>9}"
+    ]
+    for name in POLICIES:
+        values = gaps[name]
+        mean = sum(values) / len(values)
+        worst = max(values)
+        share = 100.0 * sum(1 for v in values if v < 1.0 + 1e-9) / len(values)
+        lines.append(
+            f"{name:<16} {mean:>9.3f} {worst:>10.3f} {share:>8.1f}%"
+        )
+    lines.append(f"\nOptSche matched the exhaustive optimum in "
+                 f"{optimal_matches}/{TRIALS} trials")
+    return "\n".join(lines)
+
+
+def test_scheduler_ablation(benchmark):
+    gaps, optimal_matches = once(benchmark, run_scheduler_study)
+    emit("ablation_scheduler", render(gaps, optimal_matches))
+    assert optimal_matches == TRIALS  # Theorem 1, empirically
+    mean_seq = sum(gaps["sequential"]) / TRIALS
+    mean_cp = sum(gaps["chunk-pipeline"]) / TRIALS
+    assert mean_seq > mean_cp > 1.0

@@ -1,0 +1,72 @@
+"""Ablation: Pipe-A2A gain vs the intra/inter bandwidth ratio (Eq. 18).
+
+The paper's discussion (Section 7, "Performance of Pipe-A2A") predicts
+the maximum speedup S_max = (t_intra + t_inter) / max(t_intra,
+t_inter): largest when the two phases are balanced, approaching 1 when
+one dominates (e.g. NVLink boxes where intra is nearly free).
+
+This bench sweeps the intra-fabric bandwidth on the paper-testbed
+shape and compares the simulated NCCL->Pipe speedup against Eq. 18,
+plus spot-checks the NVLink and Ethernet presets.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import custom_ratio_testbed, ethernet_cluster, nvlink_dgx
+from repro.collectives import get_a2a, measure_a2a, theoretical_max_speedup
+
+from _util import emit, once
+
+SIZE = 2.56e8  # bandwidth-bound
+RATIOS = (0.05, 0.2, 0.5, 1.0, 2.0, 8.0)
+INTER = 7.5e9
+
+
+def run_topology_sweep():
+    rows = []
+    for ratio in RATIOS:
+        spec = custom_ratio_testbed(
+            intra_bandwidth_bps=INTER * ratio, inter_bandwidth_bps=INTER
+        )
+        t_nccl = measure_a2a(get_a2a("nccl"), spec, SIZE).seconds
+        t_pipe = measure_a2a(get_a2a("pipe"), spec, SIZE).seconds
+        rows.append(
+            {
+                "ratio": ratio,
+                "simulated": t_nccl / t_pipe,
+                "eq18": theoretical_max_speedup(spec, SIZE),
+            }
+        )
+    extra = {}
+    for label, spec in (("nvlink_dgx", nvlink_dgx()), ("ethernet", ethernet_cluster())):
+        t_nccl = measure_a2a(get_a2a("nccl"), spec, SIZE).seconds
+        t_pipe = measure_a2a(get_a2a("pipe"), spec, SIZE).seconds
+        extra[label] = (t_nccl / t_pipe, theoretical_max_speedup(spec, SIZE))
+    return rows, extra
+
+
+def render(rows, extra) -> str:
+    lines = [f"{'intra/inter':>11} {'simulated':>10} {'Eq.18 bound':>12}"]
+    for e in rows:
+        lines.append(
+            f"{e['ratio']:>11.2f} {e['simulated']:>9.2f}x {e['eq18']:>11.2f}x"
+        )
+    lines.append("")
+    for label, (sim, bound) in extra.items():
+        lines.append(f"{label:<12} simulated={sim:.2f}x eq18={bound:.2f}x")
+    return "\n".join(lines)
+
+
+def test_topology_ablation(benchmark):
+    rows, extra = once(benchmark, run_topology_sweep)
+    emit("ablation_topology", render(rows, extra))
+    for e in rows:
+        # The simulator respects and approaches the analytic bound.
+        assert e["simulated"] <= e["eq18"] * 1.02
+        assert e["simulated"] >= e["eq18"] * 0.85
+    # Gain peaks where intra and inter phase times balance.
+    peak = max(rows, key=lambda e: e["eq18"])
+    assert peak["ratio"] not in (RATIOS[0], RATIOS[-1])
+    # NVLink boxes gain almost nothing (paper Section 7).
+    nvlink_sim, _ = extra["nvlink_dgx"]
+    assert nvlink_sim < 1.1

@@ -1,0 +1,58 @@
+"""Paper Table 10: component ablation on the big MoE layer.
+
+The layer (B=8, f=1.2, L=2048, H=8192, M=8192) has a ~644 MB A2A
+payload.  Paper's measured rows:
+
+    Naive       2401+/-22 ms  1.0x
+    ScheMoE-Z   1264+/-5  ms  1.9x
+    ScheMoE-ZP  1110+/-5  ms  2.2x
+    ScheMoE     1019+/-2  ms  2.4x
+
+Reproduction target: strictly monotone improvement with ZFP as the
+largest single contributor and a composite speedup in the 2-3x range.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import paper_testbed
+from repro.models import ablation_layer
+from repro.systems import SystemRunner, ablation_suite
+
+from _util import emit, once
+
+ORDER = ("Naive", "ScheMoE-Z", "ScheMoE-ZP", "ScheMoE")
+
+
+def run_table10():
+    runner = SystemRunner(paper_testbed())
+    return runner.compare(ablation_layer(), ablation_suite())
+
+
+def render(results) -> str:
+    base = results["Naive"].total_s
+    lines = [f"{'Name':<12} {'Time(ms)':>10} {'Speedup':>8}"]
+    for name in ORDER:
+        r = results[name]
+        lines.append(
+            f"{name:<12} {r.total_s * 1e3:>10.0f} "
+            f"{base / r.total_s:>7.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_table10_ablation(benchmark):
+    results = once(benchmark, run_table10)
+    emit("table10_ablation", render(results))
+    times = [results[name].total_s for name in ORDER]
+    assert times == sorted(times, reverse=True)  # monotone improvement
+    base = times[0]
+    z_gain = base / results["ScheMoE-Z"].total_s
+    zp_gain = base / results["ScheMoE-ZP"].total_s
+    full_gain = base / results["ScheMoE"].total_s
+    assert 1.4 < z_gain < 2.2
+    assert z_gain < zp_gain < full_gain
+    assert 2.0 < full_gain < 3.0
+    # ZFP is the single largest contributor (paper Section 6.5).
+    assert (base - results["ScheMoE-Z"].total_s) > (
+        results["ScheMoE-Z"].total_s - results["ScheMoE"].total_s
+    )

@@ -1,0 +1,47 @@
+"""Paper Table 1: A2A time vs step time on CT-MoE-x under Tutel.
+
+Paper's measured rows (32x RTX 2080 Ti, 100 Gb/s IB):
+
+    layers  A2A(ms)  step(ms)  ratio
+    12      252.6    497.1     50.8%
+    16      324.8    623.0     52.1%
+    20      419.3    768.9     54.5%
+    24      507.4    863.6     58.8%
+
+Reproduction target: A2A occupies at least half the step and the ratio
+grows with depth.
+"""
+
+from __future__ import annotations
+
+from repro.cluster import paper_testbed
+from repro.models import ct_moe
+from repro.systems import SystemRunner, tutel
+
+from _util import emit, once
+
+
+def run_table1() -> str:
+    runner = SystemRunner(paper_testbed())
+    lines = [
+        f"{'#Layers':>8} {'#Params(M)':>11} {'A2A(ms)':>9} "
+        f"{'Step(ms)':>9} {'Ratio(%)':>9}"
+    ]
+    for layers in (12, 16, 20, 24):
+        cfg = ct_moe(layers)
+        step = runner.step(cfg, tutel())
+        lines.append(
+            f"{layers:>8} {cfg.total_params / 1e6:>11.0f} "
+            f"{step.a2a_total_s * 1e3:>9.1f} {step.total_s * 1e3:>9.1f} "
+            f"{step.a2a_ratio * 100:>9.1f}"
+        )
+    return "\n".join(lines)
+
+
+def test_table1_a2a_ratio(benchmark):
+    text = once(benchmark, run_table1)
+    emit("table1_a2a_ratio", text)
+    # Shape assertions: A2A >= 50% and monotone in depth.
+    ratios = [float(line.split()[-1]) for line in text.splitlines()[1:]]
+    assert all(r >= 50.0 for r in ratios)
+    assert ratios == sorted(ratios)

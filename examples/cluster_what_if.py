@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""What-if study: where does ScheMoE's advantage come from, and when
+does it disappear?
+
+Uses the step-time simulator to re-run the paper's CT-MoE-24 and
+BERT-Large-MoE comparisons on three different clusters:
+
+* the paper's testbed (PCIe 2080 Ti boxes, 100 Gb/s IB) — intra and
+  inter costs comparable, Pipe-A2A and scheduling pay off;
+* an NVLink DGX-style cluster — intra transfers nearly free, so
+  Pipe-A2A's overlap buys almost nothing (paper Section 7);
+* a 25 Gb/s Ethernet cluster — communication overwhelms everything and
+  compression becomes the dominant lever.
+
+Run:  python examples/cluster_what_if.py
+"""
+
+from repro.cluster import ethernet_cluster, nvlink_dgx, paper_testbed
+from repro.collectives import get_a2a, measure_a2a, theoretical_max_speedup
+from repro.models import bert_large_moe, ct_moe
+from repro.systems import SystemRunner, comparison_suite
+
+CLUSTERS = [
+    ("paper 8x4 2080Ti + IB100", paper_testbed()),
+    ("DGX 4x8 A100 + NVLink", nvlink_dgx()),
+    ("commodity 8x4 + 25GbE", ethernet_cluster()),
+]
+
+
+def main() -> None:
+    size = 2.56e8
+    print(f"Pipe-A2A vs NCCL-A2A at {size / 1e6:.0f} MB per GPU:")
+    for label, spec in CLUSTERS:
+        nccl = measure_a2a(get_a2a("nccl"), spec, size).seconds
+        pipe = measure_a2a(get_a2a("pipe"), spec, size).seconds
+        bound = theoretical_max_speedup(spec, size)
+        print(f"  {label:<28} {nccl / pipe:5.2f}x (Eq.18 bound {bound:.2f}x)")
+
+    for cfg in (ct_moe(24), bert_large_moe()):
+        print(f"\n{cfg.name} step time by system and cluster (ms):")
+        header = f"  {'cluster':<28}" + "".join(
+            f"{p.name:>12}" for p in comparison_suite()
+        )
+        print(header)
+        for label, spec in CLUSTERS:
+            runner = SystemRunner(spec)
+            cells = ""
+            for policy in comparison_suite():
+                result = runner.step(cfg, policy)
+                cells += (
+                    f"{'OOM':>12}"
+                    if result.oom
+                    else f"{result.total_s * 1e3:>12.0f}"
+                )
+            print(f"  {label:<28}{cells}")
+
+    print(
+        "\nReading: on NVLink the Tutel/ScheMoE gap flips — with "
+        "communication nearly free,\nZFP's compute cost has nothing "
+        "to pay for (the paper's Section 7 warning);\non slow "
+        "Ethernet the gap widens (the 4x volume cut dominates)."
+    )
+
+
+if __name__ == "__main__":
+    main()

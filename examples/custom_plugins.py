@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Extensibility demo: register a custom compressor and a custom
+all-to-all, then schedule them with OptSche — the paper's Listing 1 +
+Listing 2 workflow, end to end.
+
+The custom pieces here are deliberately simple but real:
+
+* ``TopKSparsifier`` — an AbsCompressor that keeps only the largest
+  25% of values (plus indices), a classic gradient-sparsification
+  codec the paper's framework was designed to admit;
+* ``EagerInterA2A`` — an AbsAlltoAll variant that issues all
+  inter-node messages first and intra-node messages second on a
+  single stream (a plausible-but-worse design, which the harness can
+  now quantify against Pipe-A2A).
+
+Run:  python examples/custom_plugins.py
+"""
+
+import numpy as np
+
+from repro import ScheMoELayer, paper_testbed, register_plugins
+from repro.collectives import AllToAll, get_a2a, measure_a2a
+from repro.collectives.ordering import node_aligned_peers, num_intra_rounds
+from repro.compression import CompressedTensor, Compressor
+
+
+class TopKSparsifier(Compressor):
+    """Keep the top 25% of values by magnitude; 4x + indices on wire."""
+
+    name = "topk25"
+    bits_per_value = 16.0  # 8 value bits + 8 index bits amortized
+    fixed_cost_s = 3.0e-4
+    compress_bandwidth_bps = 40.0e9
+    decompress_bandwidth_bps = 80.0e9
+
+    def compress(self, tensor: np.ndarray) -> CompressedTensor:
+        arr = np.ascontiguousarray(tensor, dtype=np.float32)
+        flat = arr.ravel()
+        keep = max(1, flat.size // 4)
+        idx = np.argpartition(np.abs(flat), -keep)[-keep:].astype(np.int32)
+        return CompressedTensor(
+            codec=self.name,
+            shape=arr.shape,
+            dtype=np.dtype(np.float32),
+            payload={"values": flat[idx], "indices": idx},
+            meta={"size": flat.size},
+        )
+
+    def decompress(self, compressed: CompressedTensor) -> np.ndarray:
+        out = np.zeros(compressed.meta["size"], dtype=np.float32)
+        out[compressed.payload["indices"]] = compressed.payload["values"]
+        return out.reshape(compressed.shape)
+
+
+class EagerInterA2A(AllToAll):
+    """Inter-node rounds first, intra-node after, one stream."""
+
+    name = "eager-inter"
+
+    def schedule(self, cluster, streams, nbytes):
+        spec = cluster.spec
+        chunk = nbytes / spec.world_size
+        peers = [node_aligned_peers(spec, r) for r in cluster.iter_ranks()]
+        intra = num_intra_rounds(spec)
+        order = list(range(intra, spec.world_size)) + list(range(intra))
+        prev = []
+        for step in order:
+            this = []
+            for rank in cluster.iter_ranks():
+                peer = peers[rank][step]
+                this.append(
+                    streams[rank].comm.submit(
+                        self._xfer(cluster, rank, peer, chunk),
+                        after=prev,
+                    )
+                )
+            prev = this
+        return prev
+
+    @staticmethod
+    def _xfer(cluster, src, dst, chunk):
+        def work():
+            yield from cluster.transfer(src, dst, chunk)
+
+        return work
+
+
+def main() -> None:
+    # Listing 2, lines 4-5: register the custom implementations.
+    register_plugins(compressor=TopKSparsifier, a2a=EagerInterA2A)
+
+    # The custom codec behaves like any built-in.
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((256, 64)).astype(np.float32)
+    codec = TopKSparsifier()
+    recovered = codec.roundtrip(x)
+    kept = np.count_nonzero(recovered)
+    print(f"TopKSparsifier: kept {kept}/{x.size} values "
+          f"({100 * kept / x.size:.0f}%), wire ratio {codec.ratio:.1f}x")
+
+    # The custom A2A is measurable against the built-ins.
+    spec = paper_testbed()
+    size = 2.56e8
+    for name in ("nccl", "eager-inter", "pipe"):
+        result = measure_a2a(get_a2a(name), spec, size)
+        print(f"  {name:>12}: {result.seconds * 1e3:8.2f} ms "
+              f"for {size / 1e6:.0f} MB per GPU")
+
+    # And both plug straight into the scheduled MoE layer.
+    layer = ScheMoELayer(
+        model_dim=64,
+        hidden_dim=128,
+        num_experts=32,
+        rng=rng,
+        compress_name="topk25",
+        comm_name="eager-inter",
+        scheduler_name="optsche",
+        partitions=2,
+    )
+    plan = layer.plan(spec, batch_per_gpu=8, seq_len=1024)
+    print(f"\nScheMoE layer with custom plugins: "
+          f"forward {plan.forward.makespan * 1e3:.2f} ms, "
+          f"backward {plan.backward.makespan * 1e3:.2f} ms")
+    better = ScheMoELayer(
+        model_dim=64, hidden_dim=128, num_experts=32, rng=rng,
+        compress_name="zfp", comm_name="pipe",
+        scheduler_name="optsche", partitions=2,
+    ).plan(spec, batch_per_gpu=8, seq_len=1024)
+    print(f"reference (zfp + pipe):          "
+          f"forward {better.forward.makespan * 1e3:.2f} ms, "
+          f"backward {better.backward.makespan * 1e3:.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,255 @@
+"""Command-line interface: reproduce any paper experiment in one line.
+
+Usage::
+
+    python -m repro list                 # available experiments
+    python -m repro table7               # CT-MoE-x system comparison
+    python -m repro fig9                 # A2A algorithm sweep
+    python -m repro a2a --algo pipe --size 256e6
+    python -m repro step --model ct_moe --layers 12 --policy ScheMoE
+    python -m repro trace --out /tmp/schedule.json
+
+Each experiment prints the paper-formatted table the corresponding
+benchmark asserts on (the benchmarks under ``benchmarks/`` are the
+tested, canonical versions; this CLI is for interactive exploration).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .cluster import get_preset, paper_testbed
+from .collectives import get_a2a, measure_a2a, theoretical_max_speedup
+from .models import PAPER_MODELS, ablation_layer, bert_large_moe, ct_moe
+from .systems import (
+    ALL_POLICIES,
+    SystemRunner,
+    ablation_suite,
+    comparison_suite,
+)
+
+
+def _runner(args) -> SystemRunner:
+    return SystemRunner(get_preset(args.cluster))
+
+
+def cmd_list(_args) -> int:
+    """List experiments, policies, models and cluster presets."""
+    print("experiments: table1 table7 table8 table10 fig9 a2a step trace")
+    print("policies:   ", ", ".join(sorted(ALL_POLICIES)))
+    print("models:     ", ", ".join(sorted(PAPER_MODELS)))
+    from .cluster.presets import PRESETS
+
+    print("clusters:   ", ", ".join(sorted(PRESETS)))
+    return 0
+
+
+def cmd_table1(args) -> int:
+    """Paper Table 1: A2A share of the CT-MoE-x step under Tutel."""
+    runner = _runner(args)
+    from .systems import tutel
+
+    print(f"{'layers':>7} {'A2A(ms)':>9} {'step(ms)':>9} {'ratio':>6}")
+    for layers in (12, 16, 20, 24):
+        step = runner.step(ct_moe(layers), tutel())
+        print(
+            f"{layers:>7} {step.a2a_total_s * 1e3:>9.1f} "
+            f"{step.total_s * 1e3:>9.1f} {step.a2a_ratio * 100:>5.1f}%"
+        )
+    return 0
+
+
+def cmd_table7(args) -> int:
+    """Paper Table 7: CT-MoE-x step time across systems."""
+    runner = _runner(args)
+    names = [p.name for p in comparison_suite()]
+    print(f"{'x':>4}" + "".join(f"{n:>14}" for n in names))
+    for layers in (12, 16, 20, 24):
+        rows = runner.compare(ct_moe(layers), comparison_suite())
+        cells = "".join(
+            f"{'OOM':>14}" if rows[n].oom else f"{rows[n].total_s * 1e3:>12.0f}ms"
+            for n in names
+        )
+        print(f"{layers:>4}{cells}")
+    return 0
+
+
+def cmd_table8(args) -> int:
+    """Paper Table 8: BERT-Large-MoE comparison (FasterMoE OOM)."""
+    runner = _runner(args)
+    rows = runner.compare(bert_large_moe(), comparison_suite())
+    tutel_t = rows["Tutel"].total_s
+    for name, r in rows.items():
+        t = "OOM" if r.oom else f"{r.total_s * 1e3:8.1f}ms"
+        s = "-" if r.oom else f"{tutel_t / r.total_s:.2f}x"
+        print(f"{name:<12} {t:>11} {s:>7} mem={r.memory_bytes / 2**30:.1f}GiB")
+    return 0
+
+
+def cmd_table10(args) -> int:
+    """Paper Table 10: component ablation on the big MoE layer."""
+    runner = _runner(args)
+    rows = runner.compare(ablation_layer(), ablation_suite())
+    base = rows["Naive"].total_s
+    for name in ("Naive", "ScheMoE-Z", "ScheMoE-ZP", "ScheMoE"):
+        r = rows[name]
+        print(f"{name:<12} {r.total_s * 1e3:8.0f}ms {base / r.total_s:6.2f}x")
+    return 0
+
+
+def cmd_fig9(args) -> int:
+    """Paper Figure 9: all-to-all algorithms by message size."""
+    spec = get_preset(args.cluster)
+    sizes = [1e4, 1e6, 1e7, 1e8, 6.4e8, 2e9]
+    algos = ("nccl", "1dh", "2dh", "pipe")
+    print(f"{'size':>9}" + "".join(f"{a:>12}" for a in algos) + f"{'eq18':>7}")
+    for size in sizes:
+        cells = ""
+        for name in algos:
+            r = measure_a2a(get_a2a(name), spec, size)
+            cells += f"{'OOM':>12}" if r.oom else f"{r.seconds * 1e3:>10.2f}ms"
+        print(
+            f"{size:>9.0e}{cells}"
+            f"{theoretical_max_speedup(spec, size):>6.2f}x"
+        )
+    return 0
+
+
+def cmd_a2a(args) -> int:
+    """Measure one all-to-all call on the selected cluster."""
+    spec = get_preset(args.cluster)
+    result = measure_a2a(get_a2a(args.algo), spec, args.size)
+    if result.oom:
+        print(f"{args.algo} @ {args.size:.3e} B: OOM "
+              f"(peak {result.peak_bytes_per_gpu / 2**30:.1f} GiB/GPU)")
+        return 1
+    print(
+        f"{args.algo} @ {args.size:.3e} B/GPU: {result.seconds * 1e3:.3f} ms"
+        f"  busbw {result.busbw_bps / 1e9:.2f} GB/s"
+        f"  intra {result.stats['intra_bytes'] / 1e6:.1f} MB"
+        f"  inter {result.stats['inter_bytes'] / 1e6:.1f} MB"
+    )
+    return 0
+
+
+def cmd_step(args) -> int:
+    """Per-component breakdown of one model step under a policy."""
+    runner = _runner(args)
+    if args.model == "ct_moe":
+        cfg = ct_moe(args.layers)
+    elif args.model == "bert_large_moe":
+        cfg = bert_large_moe()
+    else:
+        cfg = PAPER_MODELS[args.model]()
+    policy = ALL_POLICIES[args.policy]
+    result = runner.step(cfg, policy)
+    if result.oom:
+        print(f"{cfg.name} under {policy.name}: OOM "
+              f"({result.memory_bytes / 2**30:.1f} GiB needed)")
+        return 1
+    print(f"{cfg.name} under {policy.name}: {result.total_s * 1e3:.1f} ms/step")
+    print(f"  MoE layers: {result.moe_total_s * 1e3:9.1f} ms "
+          f"(A2A tasks {result.a2a_total_s * 1e3:.1f} ms, "
+          f"ratio {result.a2a_ratio * 100:.1f}%)")
+    print(f"  attention:  {result.attention_s * 1e3:9.1f} ms")
+    print(f"  gate:       {result.gate_s * 1e3:9.1f} ms")
+    print(f"  embed/head: {result.head_s * 1e3:9.1f} ms")
+    print(f"  allreduce:  {result.allreduce_s * 1e3:9.1f} ms")
+    print(f"  optimizer:  {result.optimizer_s * 1e3:9.1f} ms")
+    print(f"  memory:     {result.memory_bytes / 2**30:9.1f} GiB/GPU")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Export a ScheMoE layer's forward schedule as a chrome trace."""
+    import numpy as np
+
+    from .core import ScheMoELayer
+    from .core.trace import export_schedule_trace
+
+    layer = ScheMoELayer(
+        model_dim=args.model_dim,
+        hidden_dim=args.hidden_dim,
+        num_experts=32,
+        rng=np.random.default_rng(0),
+        compress_name=args.compressor,
+        comm_name=args.algo,
+        scheduler_name=args.scheduler,
+        partitions=args.partitions,
+    )
+    plan = layer.plan(
+        get_preset(args.cluster), batch_per_gpu=args.batch, seq_len=args.seq
+    )
+    export_schedule_trace(plan.forward, path=args.out)
+    print(f"forward makespan {plan.forward.makespan * 1e3:.3f} ms; "
+          f"trace written to {args.out}")
+    print("open chrome://tracing or https://ui.perfetto.dev and load it")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro argument parser (one subcommand per experiment)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--cluster", default="paper_testbed",
+        help="cluster preset (default: paper_testbed)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments/policies/models")
+    sub.add_parser("table1", help="A2A ratio on CT-MoE-x (Table 1)")
+    sub.add_parser("table7", help="CT-MoE-x system comparison (Table 7)")
+    sub.add_parser("table8", help="BERT-Large-MoE comparison (Table 8)")
+    sub.add_parser("table10", help="component ablation (Table 10)")
+    sub.add_parser("fig9", help="A2A algorithm sweep (Figure 9)")
+
+    p_a2a = sub.add_parser("a2a", help="measure one all-to-all")
+    p_a2a.add_argument("--algo", default="pipe")
+    p_a2a.add_argument("--size", type=float, default=2.56e8)
+
+    p_step = sub.add_parser("step", help="one model step breakdown")
+    p_step.add_argument("--model", default="ct_moe",
+                        choices=sorted(PAPER_MODELS) + ["ct_moe"])
+    p_step.add_argument("--layers", type=int, default=12)
+    p_step.add_argument("--policy", default="ScheMoE",
+                        choices=sorted(ALL_POLICIES))
+
+    p_trace = sub.add_parser("trace", help="export a chrome trace")
+    p_trace.add_argument("--out", default="schedule_trace.json")
+    p_trace.add_argument("--model-dim", type=int, default=1024)
+    p_trace.add_argument("--hidden-dim", type=int, default=4096)
+    p_trace.add_argument("--batch", type=int, default=8)
+    p_trace.add_argument("--seq", type=int, default=1024)
+    p_trace.add_argument("--compressor", default="zfp")
+    p_trace.add_argument("--algo", default="pipe")
+    p_trace.add_argument("--scheduler", default="optsche")
+    p_trace.add_argument("--partitions", type=int, default=2)
+    return parser
+
+
+COMMANDS = {
+    "list": cmd_list,
+    "table1": cmd_table1,
+    "table7": cmd_table7,
+    "table8": cmd_table8,
+    "table10": cmd_table10,
+    "fig9": cmd_fig9,
+    "a2a": cmd_a2a,
+    "step": cmd_step,
+    "trace": cmd_trace,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""Analytic cost models for simulated hardware.
+
+Communication follows the classic alpha-beta model: a transfer of *n*
+bytes over a link costs ``alpha + n / bandwidth`` seconds of link
+occupancy.  Computation follows a throughput model: a GEMM of *f* flops
+runs at ``peak_flops * efficiency`` where efficiency degrades for
+low-arithmetic-intensity (small) kernels, which is what makes a high
+partition degree *r* unattractive in the paper's discussion of
+pipelining (Section 4).
+
+The default constants in :mod:`repro.cluster.presets` are calibrated to
+the paper's testbed (RTX 2080 Ti, PCIe3 x16 staged through host memory,
+100 Gb/s InfiniBand) so that Table 1's regime — A2A occupying 50-60 % of
+step time — is reproduced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Alpha-beta cost model of a communication resource.
+
+    Attributes
+    ----------
+    latency_s:
+        Per-message fixed cost (software stack + wire latency).
+    bandwidth_bps:
+        Effective bandwidth in bytes/second of the serializing
+        resource (a node's NIC, or a node's intra-node fabric in
+        aggregate).
+    """
+
+    name: str
+    latency_s: float
+    bandwidth_bps: float
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Occupancy of the link for one message of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"negative message size: {nbytes}")
+        return self.latency_s + nbytes / self.bandwidth_bps
+
+
+@dataclass(frozen=True)
+class GpuModel:
+    """Throughput model of a single accelerator.
+
+    ``gemm_efficiency`` follows a saturating curve in the kernel's flop
+    count: tiny kernels are launch/memory bound, large GEMMs approach
+    ``peak_efficiency`` of the theoretical peak.
+    """
+
+    name: str
+    peak_flops: float  # fp32 FLOP/s
+    memory_bandwidth_bps: float
+    memory_bytes: float
+    peak_efficiency: float = 0.68
+    # Mixed-precision (tensor core) peak; 0 means "no tensor cores",
+    # falling back to the fp32 path.  Expert fflayers run here (the
+    # standard mixed-precision setup the paper assumes when it notes
+    # FP16 "enables mixed-precision training ... with tensor cores").
+    tensor_flops: float = 0.0
+    tensor_efficiency: float = 0.70
+    # Kernel flop count at which efficiency reaches half of peak.
+    half_saturation_flops: float = 2.0e9
+    kernel_launch_s: float = 8.0e-6
+
+    def gemm_efficiency(self, flops: float, tensor_core: bool = False) -> float:
+        """Fraction of peak achieved by a kernel of ``flops`` flops."""
+        peak_eff = (
+            self.tensor_efficiency
+            if tensor_core and self.tensor_flops > 0
+            else self.peak_efficiency
+        )
+        if flops <= 0:
+            return peak_eff
+        return peak_eff * flops / (flops + self.half_saturation_flops)
+
+    def gemm_time(self, flops: float, tensor_core: bool = False) -> float:
+        """Wall time of a dense kernel with ``flops`` total flops.
+
+        ``tensor_core=True`` prices the kernel at the mixed-precision
+        rate when the device has tensor cores.
+        """
+        if flops < 0:
+            raise ValueError(f"negative flop count: {flops}")
+        if flops == 0:
+            return self.kernel_launch_s
+        use_tc = tensor_core and self.tensor_flops > 0
+        peak = self.tensor_flops if use_tc else self.peak_flops
+        eff = self.gemm_efficiency(flops, tensor_core=use_tc)
+        return self.kernel_launch_s + flops / (peak * eff)
+
+    def memory_time(self, nbytes: float) -> float:
+        """Wall time of a memory-bound kernel touching ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError(f"negative byte count: {nbytes}")
+        return self.kernel_launch_s + nbytes / self.memory_bandwidth_bps
+
+
+def ffn_forward_flops(tokens: int, model_dim: int, hidden_dim: int) -> float:
+    """Flops of one expert FFN forward pass (two GEMMs M->H->M)."""
+    return 2.0 * tokens * model_dim * hidden_dim * 2.0
+
+
+def ffn_backward_flops(tokens: int, model_dim: int, hidden_dim: int) -> float:
+    """Backward pass costs roughly 2x forward (dgrad + wgrad)."""
+    return 2.0 * ffn_forward_flops(tokens, model_dim, hidden_dim)
+
+
+def attention_forward_flops(tokens: int, model_dim: int, seq_len: int) -> float:
+    """Approximate flops of a multi-head attention block forward.
+
+    QKV + output projections (4 GEMMs of M x M) plus the two
+    (tokens x seq_len x dim) batched products.
+    """
+    proj = 2.0 * tokens * model_dim * model_dim * 4.0
+    scores = 2.0 * tokens * seq_len * model_dim * 2.0
+    return proj + scores
+
+
+def bytes_of(num_elements: float, bits: int = 32) -> float:
+    """Message size in bytes of ``num_elements`` at ``bits`` precision."""
+    if bits <= 0:
+        raise ValueError(f"bits must be positive, got {bits}")
+    return num_elements * bits / 8.0
+
+
+def a2a_input_bytes(
+    batch: int,
+    seq_len: int,
+    model_dim: int,
+    capacity_factor: float,
+    top_k: int,
+    bits: int = 32,
+) -> float:
+    """Paper Eq. (2): per-GPU A2A payload S = f*k*B*L*M*b/8 bytes."""
+    elements = capacity_factor * top_k * batch * seq_len * model_dim
+    return bytes_of(elements, bits)
+
+
+def expert_capacity(
+    batch: int, seq_len: int, num_experts: int, capacity_factor: float, top_k: int
+) -> int:
+    """Paper Eq. (1): C = f * k * B * L / E, rounded up."""
+    if num_experts <= 0:
+        raise ValueError(f"num_experts must be positive, got {num_experts}")
+    return int(math.ceil(capacity_factor * top_k * batch * seq_len / num_experts))

@@ -1,0 +1,290 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic, generator-based event engine in the style of
+SimPy, purpose-built for simulating GPU clusters: processes model CUDA
+streams and collective algorithms, resources model exclusive hardware
+(a compute engine, a link, a NIC).
+
+The engine is deterministic: events scheduled at the same timestamp are
+processed in FIFO order of scheduling, so repeated runs of the same
+simulation produce identical traces.
+
+Example
+-------
+>>> eng = Engine()
+>>> link = Resource(eng, name="nic")
+>>> def sender(eng, link, results):
+...     with (yield from link.acquire()):
+...         yield eng.timeout(2.0)
+...     results.append(eng.now)
+>>> out = []
+>>> eng.process(sender(eng, link, out))
+<Process ...>
+>>> eng.process(sender(eng, link, out))
+<Process ...>
+>>> eng.run()
+>>> out
+[2.0, 4.0]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an invalid state."""
+
+
+class Event:
+    """A one-shot occurrence processes can wait on.
+
+    An event starts pending; :meth:`succeed` fires it, after which all
+    registered callbacks run at the current simulation time.  Waiting on
+    an already-fired event resumes the waiter immediately (at the same
+    timestamp, via the event queue, preserving determinism).
+    """
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.name = name
+        self.fired = False
+        self.value: Any = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Fire the event, scheduling all callbacks at the current time."""
+        if self.fired:
+            raise SimulationError(f"event {self.name!r} fired twice")
+        self.fired = True
+        self.value = value
+        for cb in self._callbacks:
+            self.engine._schedule_callback(cb, self)
+        self._callbacks.clear()
+        return self
+
+    def add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Run ``cb(event)`` when the event fires (immediately if fired)."""
+        if self.fired:
+            self.engine._schedule_callback(cb, self)
+        else:
+            self._callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else "pending"
+        return f"<{type(self).__name__} {self.name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, engine: "Engine", delay: float, name: str = ""):
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        super().__init__(engine, name or f"timeout({delay:g})")
+        engine._schedule_at(engine.now + delay, self)
+
+
+class AllOf(Event):
+    """Fires once every child event has fired."""
+
+    def __init__(self, engine: "Engine", events: Iterable[Event], name: str = ""):
+        super().__init__(engine, name or "all_of")
+        self._pending = 0
+        events = list(events)
+        for ev in events:
+            if not ev.fired:
+                self._pending += 1
+                ev.add_callback(self._child_fired)
+        if self._pending == 0:
+            self.succeed([ev.value for ev in events])
+        else:
+            self._children = events
+
+    def _child_fired(self, _ev: Event) -> None:
+        self._pending -= 1
+        if self._pending == 0 and not self.fired:
+            self.succeed([ev.value for ev in self._children])
+
+
+class AnyOf(Event):
+    """Fires as soon as any child event fires."""
+
+    def __init__(self, engine: "Engine", events: Iterable[Event], name: str = ""):
+        super().__init__(engine, name or "any_of")
+        for ev in events:
+            ev.add_callback(self._child_fired)
+
+    def _child_fired(self, ev: Event) -> None:
+        if not self.fired:
+            self.succeed(ev.value)
+
+
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A coroutine driven by the engine.
+
+    The wrapped generator yields :class:`Event` objects; the process is
+    resumed with the event's value once the event fires.  The process
+    itself is an event that fires (with the generator's return value)
+    when the generator finishes, so processes can wait on each other.
+    """
+
+    def __init__(self, engine: "Engine", gen: ProcessGenerator, name: str = ""):
+        super().__init__(engine, name or getattr(gen, "__name__", "process"))
+        self._gen = gen
+        engine._schedule_callback(self._resume, _START)
+
+    def _resume(self, ev: Event) -> None:
+        try:
+            if ev is _START:
+                target = self._gen.send(None)
+            else:
+                target = self._gen.send(ev.value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        target.add_callback(self._resume)
+
+
+class _Sentinel(Event):
+    def __init__(self):  # noqa: D401 - internal marker, no engine attached
+        self.fired = True
+        self.value = None
+
+
+_START = _Sentinel()
+
+
+class Engine:
+    """The event loop: a priority queue of (time, seq, action) triples."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._queue: list = []
+        self._seq = itertools.count()
+
+    # -- scheduling ---------------------------------------------------
+    def _schedule_at(self, when: float, event: Event) -> None:
+        heapq.heappush(self._queue, (when, next(self._seq), "fire", event, None))
+
+    def _schedule_callback(self, cb: Callable[[Event], None], ev: Event) -> None:
+        heapq.heappush(self._queue, (self.now, next(self._seq), "call", cb, ev))
+
+    # -- public api ---------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, name: str = "") -> Timeout:
+        """An event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, name)
+
+    def process(self, gen: ProcessGenerator, name: str = "") -> Process:
+        """Launch a generator as a simulated process."""
+        return Process(self, gen, name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event firing when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event queue; returns the final simulation time.
+
+        ``until`` caps the simulated time; events past the cap stay
+        queued and ``now`` is advanced to ``until``.
+        """
+        while self._queue:
+            when, _seq, kind, target, arg = self._queue[0]
+            if until is not None and when > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            if when < self.now:
+                raise SimulationError("time went backwards")
+            self.now = when
+            if kind == "fire":
+                if not target.fired:
+                    target.succeed()
+            else:
+                target(arg)
+        return self.now
+
+
+class Resource:
+    """An exclusive-use resource with a FIFO wait queue.
+
+    Models hardware that serializes work: a GPU's compute engine, a
+    PCIe fabric, a NIC.  ``capacity`` > 1 models resources that admit a
+    fixed number of concurrent users.
+    """
+
+    def __init__(self, engine: Engine, name: str = "", capacity: int = 1):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: List[Event] = []
+
+    @property
+    def in_use(self) -> int:
+        """Number of current holders."""
+        return self._in_use
+
+    def request(self) -> Event:
+        """An event firing when a slot is granted (caller must release)."""
+        ev = self.engine.event(f"req:{self.name}")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Free a slot, waking the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise SimulationError(f"release of idle resource {self.name!r}")
+        if self._waiters:
+            ev = self._waiters.pop(0)
+            ev.succeed(self)
+        else:
+            self._in_use -= 1
+
+    def acquire(self) -> ProcessGenerator:
+        """``yield from``-able acquisition returning a context manager.
+
+        Usage inside a process::
+
+            with (yield from resource.acquire()):
+                yield engine.timeout(dt)
+        """
+        yield self.request()
+        return _Held(self)
+
+
+class _Held:
+    """Context manager releasing a resource slot on exit."""
+
+    def __init__(self, resource: Resource):
+        self._resource = resource
+
+    def __enter__(self) -> Resource:
+        return self._resource
+
+    def __exit__(self, *exc: Any) -> None:
+        self._resource.release()

@@ -1,0 +1,259 @@
+"""Cluster topology: nodes, GPUs, links, and the simulation runtime.
+
+The topology mirrors the paper's testbed shape: ``N`` nodes, each with
+``M`` GPUs behind a shared intra-node fabric (PCIe switch / host
+staging) and one NIC to the inter-node network.
+
+Resource model
+--------------
+* Each GPU owns a **compute** resource: one kernel at a time (expert
+  GEMMs, compression kernels).
+* Each node owns an **intra-node fabric** resource: all GPU-to-GPU
+  transfers inside the node serialize on it (aggregate-bandwidth
+  model; the 2080 Ti has no GPUDirect P2P, so every intra transfer is
+  staged through host memory and contends on the same root complex).
+* Each node owns a **NIC-send** resource: all egress inter-node
+  transfers of the node serialize on it.  The receive direction is not
+  modeled separately; the NIC is full duplex and all workloads in the
+  paper (all-to-all and allreduce) are volume-symmetric, so egress
+  serialization alone captures the bottleneck.
+
+Memory accounting
+-----------------
+GPUs track allocated bytes so that algorithms with pathological
+staging footprints (1DH-A2A's leader buffers, FasterMoE's imbalanced
+token buffers) run out of memory in the simulator exactly where the
+paper observed OOM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from .costmodel import GpuModel, LinkModel
+from .engine import Engine, ProcessGenerator, Resource
+
+
+class SimulatedOOM(RuntimeError):
+    """Raised when a simulated GPU allocation exceeds device memory."""
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Static description of a cluster.
+
+    ``intra_link.bandwidth_bps`` is the *aggregate* effective bandwidth
+    of one node's internal fabric for fine-grained pairwise send/recv
+    (NCCL P2P protocol staged through shared host memory — slow on
+    GPUs without GPUDirect P2P such as the 2080 Ti);
+    ``intra_bulk_link`` is the same fabric driven by fused bulk staged
+    copies (large contiguous ``cudaMemcpy`` DMA), which sustain much
+    higher utilization and are what hierarchical algorithms use for
+    their aggregated intra-node phases.  ``inter_link.bandwidth_bps``
+    is the effective egress bandwidth of one NIC.
+    """
+
+    name: str
+    num_nodes: int
+    gpus_per_node: int
+    gpu: GpuModel
+    intra_link: LinkModel
+    inter_link: LinkModel
+    intra_bulk_link: Optional[LinkModel] = None
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError(f"num_nodes must be >= 1, got {self.num_nodes}")
+        if self.gpus_per_node < 1:
+            raise ValueError(
+                f"gpus_per_node must be >= 1, got {self.gpus_per_node}"
+            )
+        if self.intra_bulk_link is None:
+            object.__setattr__(self, "intra_bulk_link", self.intra_link)
+
+    @property
+    def world_size(self) -> int:
+        """Total number of GPUs, P = N x M."""
+        return self.num_nodes * self.gpus_per_node
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting global GPU ``rank``."""
+        self._check_rank(rank)
+        return rank // self.gpus_per_node
+
+    def local_rank(self, rank: int) -> int:
+        """Index of GPU ``rank`` inside its node."""
+        self._check_rank(rank)
+        return rank % self.gpus_per_node
+
+    def same_node(self, rank_a: int, rank_b: int) -> bool:
+        """Whether two global ranks share a node."""
+        return self.node_of(rank_a) == self.node_of(rank_b)
+
+    def ranks_of_node(self, node: int) -> List[int]:
+        """Global ranks of all GPUs in ``node``."""
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range [0, {self.num_nodes})")
+        base = node * self.gpus_per_node
+        return list(range(base, base + self.gpus_per_node))
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.world_size:
+            raise ValueError(f"rank {rank} out of range [0, {self.world_size})")
+
+
+@dataclass
+class GpuRuntime:
+    """Per-GPU simulation state."""
+
+    rank: int
+    node: int
+    local_rank: int
+    model: GpuModel
+    compute: Resource
+    allocated_bytes: float = 0.0
+    peak_allocated_bytes: float = 0.0
+
+    def allocate(self, nbytes: float) -> None:
+        """Reserve simulated device memory; raise on exhaustion."""
+        if nbytes < 0:
+            raise ValueError(f"negative allocation: {nbytes}")
+        self.allocated_bytes += nbytes
+        self.peak_allocated_bytes = max(
+            self.peak_allocated_bytes, self.allocated_bytes
+        )
+        if self.allocated_bytes > self.model.memory_bytes:
+            raise SimulatedOOM(
+                f"GPU {self.rank}: allocation of {nbytes:.3e} B exceeds "
+                f"{self.model.memory_bytes:.3e} B device memory "
+                f"(in use: {self.allocated_bytes - nbytes:.3e} B)"
+            )
+
+    def free(self, nbytes: float) -> None:
+        """Release simulated device memory."""
+        if nbytes < 0:
+            raise ValueError(f"negative free: {nbytes}")
+        self.allocated_bytes = max(0.0, self.allocated_bytes - nbytes)
+
+
+@dataclass
+class NodeRuntime:
+    """Per-node simulation state: shared fabric and NIC resources."""
+
+    index: int
+    fabric: Resource
+    nic_send: Resource
+    gpus: List[GpuRuntime] = field(default_factory=list)
+
+
+class SimCluster:
+    """A cluster instantiated on a simulation :class:`Engine`.
+
+    Provides the transfer primitives collectives are written against:
+    :meth:`transfer` yields a process generator that occupies the right
+    resource (fabric or NIC) for the alpha-beta duration of the message.
+    """
+
+    def __init__(self, spec: ClusterSpec, engine: Engine | None = None):
+        self.spec = spec
+        self.engine = engine if engine is not None else Engine()
+        self.nodes: List[NodeRuntime] = []
+        self.gpus: List[GpuRuntime] = []
+        for n in range(spec.num_nodes):
+            node = NodeRuntime(
+                index=n,
+                fabric=Resource(self.engine, name=f"fabric[{n}]"),
+                nic_send=Resource(self.engine, name=f"nic[{n}]"),
+            )
+            for m in range(spec.gpus_per_node):
+                rank = n * spec.gpus_per_node + m
+                gpu = GpuRuntime(
+                    rank=rank,
+                    node=n,
+                    local_rank=m,
+                    model=spec.gpu,
+                    compute=Resource(self.engine, name=f"compute[{rank}]"),
+                )
+                node.gpus.append(gpu)
+                self.gpus.append(gpu)
+            self.nodes.append(node)
+        self._stats: Dict[str, float] = {
+            "intra_bytes": 0.0,
+            "inter_bytes": 0.0,
+            "intra_messages": 0.0,
+            "inter_messages": 0.0,
+        }
+
+    # -- accessors ------------------------------------------------------
+    @property
+    def world_size(self) -> int:
+        """Total number of GPUs."""
+        return self.spec.world_size
+
+    def gpu(self, rank: int) -> GpuRuntime:
+        """Runtime state of global GPU ``rank``."""
+        self.spec._check_rank(rank)
+        return self.gpus[rank]
+
+    def node(self, index: int) -> NodeRuntime:
+        """Runtime state of node ``index``."""
+        return self.nodes[index]
+
+    def iter_ranks(self) -> Iterator[int]:
+        """All global GPU ranks."""
+        return iter(range(self.world_size))
+
+    @property
+    def stats(self) -> Dict[str, float]:
+        """Cumulative traffic statistics of this cluster instance."""
+        return dict(self._stats)
+
+    # -- primitives -----------------------------------------------------
+    def transfer(
+        self, src: int, dst: int, nbytes: float, bulk: bool = False
+    ) -> ProcessGenerator:
+        """Process generator moving ``nbytes`` from GPU src to GPU dst.
+
+        Intra-node messages occupy the source node's fabric; inter-node
+        messages occupy the source node's NIC.  ``bulk=True`` selects
+        the fused bulk-copy path for intra-node messages (hierarchical
+        algorithms' aggregated transfers), which sustains higher fabric
+        utilization than pairwise send/recv.  A self-transfer is an
+        on-device copy costed by the GPU memory system with no shared
+        resource held.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative message size: {nbytes}")
+        if src == dst:
+            yield self.engine.timeout(self.spec.gpu.memory_time(2.0 * nbytes))
+            return
+        src_node = self.spec.node_of(src)
+        dst_node = self.spec.node_of(dst)
+        if src_node == dst_node:
+            self._stats["intra_bytes"] += nbytes
+            self._stats["intra_messages"] += 1
+            resource = self.nodes[src_node].fabric
+            link = self.spec.intra_bulk_link if bulk else self.spec.intra_link
+            duration = link.transfer_time(nbytes)
+        else:
+            self._stats["inter_bytes"] += nbytes
+            self._stats["inter_messages"] += 1
+            resource = self.nodes[src_node].nic_send
+            duration = self.spec.inter_link.transfer_time(nbytes)
+        with (yield from resource.acquire()):
+            yield self.engine.timeout(duration)
+
+    def compute(self, rank: int, seconds: float) -> ProcessGenerator:
+        """Process generator occupying GPU ``rank``'s compute engine."""
+        if seconds < 0:
+            raise ValueError(f"negative compute duration: {seconds}")
+        gpu = self.gpu(rank)
+        with (yield from gpu.compute.acquire()):
+            yield self.engine.timeout(seconds)
+
+    def reset_memory(self) -> None:
+        """Zero all simulated allocations (between experiments)."""
+        for gpu in self.gpus:
+            gpu.allocated_bytes = 0.0
+            gpu.peak_allocated_bytes = 0.0

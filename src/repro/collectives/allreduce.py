@@ -1,0 +1,70 @@
+"""Ring allreduce time model.
+
+The non-MoE parameters of the models in the paper (attention layers,
+embeddings, gating networks) are trained data-parallel, so every step
+ends with an allreduce of their gradients.  The step-time simulator
+prices this with the standard ring-allreduce cost: ``2 (P-1) / P``
+times the payload crosses each GPU's bottleneck link, hierarchical
+variant reducing intra-node first.
+"""
+
+from __future__ import annotations
+
+from ..cluster.topology import ClusterSpec
+
+
+def ring_allreduce_time(spec: ClusterSpec, nbytes: float) -> float:
+    """Flat ring over all P GPUs in rank order.
+
+    Each of the ``2 (P - 1)`` ring steps moves one ``nbytes / P``
+    chunk per GPU to its ring successor.  With consecutive rank
+    placement, ``M - 1`` of a node's hops stay on the intra fabric
+    (pairwise send/recv path) and one crosses the NIC; the step time
+    is the slower of the two — which is why flat rings are poor on
+    hierarchical clusters whose pairwise fabric path is slow.
+    """
+    if nbytes < 0:
+        raise ValueError(f"negative payload: {nbytes}")
+    if nbytes == 0:
+        return 0.0
+    world = spec.world_size
+    if world == 1:
+        return 0.0
+    steps = 2 * (world - 1)
+    chunk = nbytes / world
+    intra_hops = spec.gpus_per_node - 1
+    fabric = (
+        spec.intra_link.transfer_time(chunk * intra_hops)
+        if intra_hops > 0
+        else 0.0
+    )
+    nic = spec.inter_link.transfer_time(chunk) if spec.num_nodes > 1 else 0.0
+    return steps * max(fabric, nic)
+
+
+def hierarchical_allreduce_time(spec: ClusterSpec, nbytes: float) -> float:
+    """Reduce intra-node, ring across nodes, broadcast intra-node.
+
+    This is how NCCL actually handles multi-node allreduce; it is the
+    default used by the step-time simulator.
+    """
+    if nbytes < 0:
+        raise ValueError(f"negative payload: {nbytes}")
+    if nbytes == 0:
+        return 0.0
+    gpn = spec.gpus_per_node
+    nodes = spec.num_nodes
+    # Intra-node reduce + broadcast: each stage moves (gpn-1)/gpn of
+    # the payload per GPU across the shared fabric as fused bulk
+    # copies (NCCL's ring uses large pipelined chunks here).
+    intra = 0.0
+    if gpn > 1:
+        stage = spec.intra_bulk_link.transfer_time(
+            nbytes * (gpn - 1) / gpn * gpn
+        )
+        intra = 2.0 * stage
+    inter = 0.0
+    if nodes > 1:
+        steps = 2 * (nodes - 1)
+        inter = steps * spec.inter_link.transfer_time(nbytes / nodes)
+    return intra + inter

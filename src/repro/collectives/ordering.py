@@ -1,0 +1,60 @@
+"""Peer orderings shared by the pairwise exchange algorithms.
+
+All pairwise all-to-all variants here visit peers in a *node-aligned*
+order: first the GPU's own node (self-copy, then local peers in
+rotated local-rank order), then remote nodes in rotated node order.
+Because every rank uses the same rotation offsets, round ``t`` is
+globally consistent — in each round the send/recv pairs form a perfect
+matching and every rank is exchanging over the same class of link
+(intra-node for the first ``M`` rounds, inter-node afterwards).
+
+This mirrors how NCCL group-launched point-to-point operations
+progress in lockstep rounds, and it is the execution model behind the
+paper's Eq. 17 (NCCL-A2A time = intra phase + inter phase, strictly
+sequential).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..cluster.topology import ClusterSpec
+
+
+def node_aligned_peers(spec: ClusterSpec, rank: int) -> List[int]:
+    """Peer sequence for ``rank``: own node first, then remote nodes.
+
+    Round ``t`` of the returned sequence pairs rank ``(n, r)`` with:
+
+    * ``t < M``: local peer ``(n, (r + t) mod M)`` — an intra-node
+      exchange (``t = 0`` is the self-copy);
+    * ``t >= M``: writing ``t - M = (d - 1) * M + s`` with node offset
+      ``d >= 1``, the peer ``((n + d) mod N, (r + s) mod M)``.
+
+    For every ``t`` the map rank -> peer is an involution-free perfect
+    matching in the sense required for send/recv pairing: if ``a``
+    sends to ``b`` in round ``t``, then ``b`` receives from ``a`` in a
+    round with the same link class, so rounds are never mixed-class.
+    """
+    gpn = spec.gpus_per_node
+    nodes = spec.num_nodes
+    node = spec.node_of(rank)
+    local = spec.local_rank(rank)
+    peers: List[int] = []
+    for t in range(gpn):
+        peers.append(node * gpn + (local + t) % gpn)
+    for d in range(1, nodes):
+        peer_node = (node + d) % nodes
+        for s in range(gpn):
+            peers.append(peer_node * gpn + (local + s) % gpn)
+    return peers
+
+
+def num_intra_rounds(spec: ClusterSpec) -> int:
+    """Rounds of :func:`node_aligned_peers` that are intra-node."""
+    return spec.gpus_per_node
+
+
+def num_rounds(spec: ClusterSpec) -> int:
+    """Total rounds (= world size)."""
+    return spec.world_size

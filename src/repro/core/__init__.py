@@ -1,0 +1,84 @@
+"""The ScheMoE core: abstractions, task queue, profiler, schedulers.
+
+The paper's primary contribution (Sections 3-4): time-consuming MoE
+operations are modularized behind ``AbsCompressor`` / ``AbsAlltoAll``
+/ ``AbsExpert``; the resulting tasks are profiled and re-ordered by a
+pluggable scheduler, with :class:`OptScheScheduler` implementing the
+provably optimal order of Theorem 1.
+"""
+
+from .abstractions import AbsAlltoAll, AbsCompressor, AbsExpert, register_plugins
+from .executor import EventExecutor, ExecutionReport
+from .imbalance import BALANCED, RoutingSkew
+from .model_executor import ModelExecutionReport, ModelExecutor
+from .moe_layer import LayerPlan, ScheMoELayer
+from .profiler import LinearPerfModel, Profiler
+from .scheduler import (
+    BruteForceScheduler,
+    ChunkPipelineScheduler,
+    InvalidScheduleError,
+    OptScheScheduler,
+    ScheduleResult,
+    Scheduler,
+    SequentialScheduler,
+    available_schedulers,
+    get_scheduler,
+    register_scheduler,
+    sample_comp_orders,
+    simulate_order,
+    valid_comp_orders,
+)
+from .system import (
+    PARAM_STATE_BYTES,
+    LayerTiming,
+    StepBreakdown,
+    SystemPolicy,
+    dense_param_count,
+    estimate_memory_bytes,
+    local_param_count,
+    simulate_model_step,
+)
+from .tasks import CHAIN, Task, TaskDurations, TaskKind, make_tasks
+
+__all__ = [
+    "AbsAlltoAll",
+    "AbsCompressor",
+    "AbsExpert",
+    "BruteForceScheduler",
+    "BALANCED",
+    "CHAIN",
+    "ChunkPipelineScheduler",
+    "EventExecutor",
+    "ExecutionReport",
+    "InvalidScheduleError",
+    "LayerPlan",
+    "LayerTiming",
+    "LinearPerfModel",
+    "ModelExecutionReport",
+    "ModelExecutor",
+    "OptScheScheduler",
+    "PARAM_STATE_BYTES",
+    "Profiler",
+    "RoutingSkew",
+    "ScheMoELayer",
+    "ScheduleResult",
+    "Scheduler",
+    "SequentialScheduler",
+    "StepBreakdown",
+    "SystemPolicy",
+    "Task",
+    "TaskDurations",
+    "TaskKind",
+    "available_schedulers",
+    "dense_param_count",
+    "estimate_memory_bytes",
+    "get_scheduler",
+    "local_param_count",
+    "make_tasks",
+    "register_plugins",
+    "register_scheduler",
+    "sample_comp_orders",
+    "simulate_model_step",
+    "simulate_order",
+    "valid_comp_orders",
+]

@@ -1,0 +1,251 @@
+"""Multi-layer event execution with optional cross-layer pipelining.
+
+The paper schedules tasks *within* one MoE layer; layers execute back
+to back.  But the dependency structure allows more: the next layer's
+attention only needs the previous layer's combined tokens, which
+materialize chunk by chunk as the D2^i decompressions finish — so at
+partition degree r, attention chunk i of layer l+1 can start as soon
+as D2^i of layer l completes, overlapping the previous layer's
+trailing A2A/decompress tail.  This module executes an n-layer forward
+pass at event granularity in two modes:
+
+* ``layer-barrier`` — the paper's model: layer l+1 starts when layer l
+  is fully done;
+* ``chunked`` — cross-layer chunk pipelining (a natural extension in
+  the spirit of the paper's future work).
+
+The ``bench_ablation_cross_layer.py`` bench quantifies the gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..cluster.engine import Event
+from ..cluster.streams import make_streams
+from ..cluster.topology import ClusterSpec, SimCluster
+from ..collectives.base import AllToAll
+from ..compression.base import Compressor
+from ..models.configs import MoEModelConfig
+from ..cluster.costmodel import attention_forward_flops
+from .profiler import Profiler
+from .tasks import TaskKind
+
+MODES = ("layer-barrier", "chunked")
+
+#: Per-chunk computing chain inside one layer (attention prepended).
+_COMP_CHAIN = (
+    "ATTN",
+    TaskKind.C1,
+    TaskKind.D1,
+    TaskKind.E,
+    TaskKind.C2,
+    TaskKind.D2,
+)
+
+
+@dataclass
+class ModelExecutionReport:
+    """Outcome of one multi-layer forward execution."""
+
+    mode: str
+    num_layers: int
+    partitions: int
+    makespan: float
+
+
+class ModelExecutor:
+    """Event-level forward pass of all MoE blocks of a model."""
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        a2a: AllToAll,
+        compressor: Compressor,
+        partitions: int = 2,
+    ):
+        if partitions < 1:
+            raise ValueError(f"partitions must be >= 1, got {partitions}")
+        self.spec = spec
+        self.a2a = a2a
+        self.compressor = compressor
+        self.partitions = partitions
+        self._profiler = Profiler(spec, a2a=a2a, compressor=compressor)
+
+    def run(self, cfg: MoEModelConfig, mode: str = "chunked") -> ModelExecutionReport:
+        """Execute ``cfg.num_layers`` transformer blocks' forward."""
+        if mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {mode!r}")
+        r = self.partitions
+        durations = self._profiler.profile_layer(cfg, r)
+        attn_seconds = self._attention_seconds(cfg) / r
+
+        comp_seconds = {
+            "ATTN": attn_seconds,
+            TaskKind.C1: durations.compress,
+            TaskKind.C2: durations.compress,
+            TaskKind.D1: durations.decompress,
+            TaskKind.D2: durations.decompress,
+            TaskKind.E: durations.expert,
+        }
+        wire_chunk = self.compressor.compressed_bytes(cfg.a2a_bytes / r)
+
+        cluster = SimCluster(self.spec)
+        engine = cluster.engine
+        streams = make_streams(engine, self.spec.world_size)
+
+        done: Dict[Tuple[int, object, int], Event] = {}
+
+        def comp_deps(layer: int, kind, chunk: int) -> List[Event]:
+            idx = _COMP_CHAIN.index(kind)
+            if idx > 0:
+                # Chain predecessor within the layer (D1 and D2 are
+                # submitted explicitly below because their dependency
+                # is a communication task, not the previous comp task).
+                return [done[(layer, _COMP_CHAIN[idx - 1], chunk)]]
+            # Attention chunk: depends on the previous layer's output.
+            if layer == 0:
+                return []
+            if mode == "layer-barrier":
+                return [
+                    done[(layer - 1, TaskKind.D2, c)] for c in range(r)
+                ]
+            return [done[(layer - 1, TaskKind.D2, chunk)]]
+
+        def submit_comp(layer: int, kind, chunk: int) -> Event:
+            deps = comp_deps(layer, kind, chunk)
+            events = []
+            for rank in cluster.iter_ranks():
+                events.append(
+                    streams[rank].compute.submit(
+                        self._kernel(cluster, rank, comp_seconds[kind]),
+                        after=deps,
+                        name=f"L{layer}:{kind}^{chunk}@{rank}",
+                    )
+                )
+            return engine.all_of(events)
+
+        def submit_comm(layer: int, kind: TaskKind, chunk: int) -> Event:
+            pred_kind = (
+                TaskKind.C1 if kind == TaskKind.A1 else TaskKind.C2
+            )
+            dep = done[(layer, pred_kind, chunk)]
+            for rank in cluster.iter_ranks():
+                gpu_streams = streams[rank]
+                for stream in (
+                    gpu_streams.comm,
+                    gpu_streams.intra,
+                    gpu_streams.inter,
+                ):
+                    stream.submit(
+                        self._wait(engine, dep),
+                        name=f"gate:L{layer}:{kind}^{chunk}@{rank}",
+                    )
+            return engine.all_of(
+                self.a2a.schedule(cluster, streams, wire_chunk)
+            )
+
+        def submit_after_comm(layer: int, kind: TaskKind, chunk: int) -> None:
+            """D1/D2: compute gated on the matching A2A completion."""
+            comm_kind = TaskKind.A1 if kind == TaskKind.D1 else TaskKind.A2
+            deps = [done[(layer, comm_kind, chunk)]]
+            events = []
+            for rank in cluster.iter_ranks():
+                events.append(
+                    streams[rank].compute.submit(
+                        self._kernel(cluster, rank, comp_seconds[kind]),
+                        after=deps,
+                        name=f"L{layer}:{kind}^{chunk}@{rank}",
+                    )
+                )
+            done[(layer, kind, chunk)] = engine.all_of(events)
+
+        def submit_d2(layer: int, chunk: int) -> None:
+            submit_after_comm(layer, TaskKind.D2, chunk)
+
+        for layer in range(cfg.num_layers):
+            # Layer boundary.  In chunked mode the previous layer's
+            # trailing D2 decompressions interleave with this layer's
+            # attention chunks in the compute queue, so attention on
+            # chunk i starts the moment D2^i lands — overlapping the
+            # previous layer's remaining A2^j communication.  In
+            # layer-barrier mode all D2s are enqueued first (the
+            # paper's per-layer model).
+            if layer > 0:
+                if mode == "chunked":
+                    for chunk in range(r):
+                        submit_d2(layer - 1, chunk)
+                        done[(layer, "ATTN", chunk)] = submit_comp(
+                            layer, "ATTN", chunk
+                        )
+                else:
+                    for chunk in range(r):
+                        submit_d2(layer - 1, chunk)
+                    for chunk in range(r):
+                        done[(layer, "ATTN", chunk)] = submit_comp(
+                            layer, "ATTN", chunk
+                        )
+            else:
+                for chunk in range(r):
+                    done[(layer, "ATTN", chunk)] = submit_comp(
+                        layer, "ATTN", chunk
+                    )
+            # Within the layer: OptSche's order (Eq. 12), with D2
+            # deferred past the layer boundary above.
+            for chunk in range(r):
+                done[(layer, TaskKind.C1, chunk)] = submit_comp(
+                    layer, TaskKind.C1, chunk
+                )
+            for chunk in range(r):
+                done[(layer, TaskKind.A1, chunk)] = submit_comm(
+                    layer, TaskKind.A1, chunk
+                )
+            for chunk in range(r):
+                submit_after_comm(layer, TaskKind.D1, chunk)
+                done[(layer, TaskKind.E, chunk)] = submit_comp(
+                    layer, TaskKind.E, chunk
+                )
+                done[(layer, TaskKind.C2, chunk)] = submit_comp(
+                    layer, TaskKind.C2, chunk
+                )
+            for chunk in range(r):
+                done[(layer, TaskKind.A2, chunk)] = submit_comm(
+                    layer, TaskKind.A2, chunk
+                )
+        # Trailing D2s of the final layer.
+        for chunk in range(r):
+            submit_d2(cfg.num_layers - 1, chunk)
+
+        engine.run()
+        return ModelExecutionReport(
+            mode=mode,
+            num_layers=cfg.num_layers,
+            partitions=r,
+            makespan=engine.now,
+        )
+
+    def _attention_seconds(self, cfg: MoEModelConfig) -> float:
+        if cfg.layer_only:
+            return 0.0
+        gpu = self.spec.gpu
+        return gpu.gemm_time(
+            attention_forward_flops(
+                cfg.tokens_per_gpu, cfg.model_dim, cfg.seq_len
+            )
+        ) + gpu.memory_time(8.0 * cfg.tokens_per_gpu * cfg.model_dim * 4.0)
+
+    @staticmethod
+    def _kernel(cluster: SimCluster, rank: int, seconds: float):
+        def work():
+            yield from cluster.compute(rank, seconds)
+
+        return work
+
+    @staticmethod
+    def _wait(engine, event: Event):
+        def work():
+            if not event.fired:
+                yield event
+
+        return work

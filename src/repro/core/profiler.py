@@ -1,0 +1,142 @@
+"""The Profiler: measures task durations and fits performance models.
+
+As in the paper (Fig. 4), every task the abstraction modules emit is
+profiled so the scheduler can order tasks from measured time, not
+assumptions: communication tasks are measured by actually running the
+configured all-to-all algorithm on the simulated cluster;
+compress/decompress tasks are priced by the codec's cost model; expert
+tasks by the GPU GEMM model.
+
+Alongside point measurements the profiler fits linear (alpha + beta *
+size) performance models so durations at unmeasured sizes can be
+predicted — the "meta-data (e.g. time performance models)" the paper's
+scheduler consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..cluster.costmodel import ffn_forward_flops
+from ..cluster.topology import ClusterSpec
+from ..collectives.base import AllToAll, measure_a2a
+from ..compression.base import Compressor
+from ..models.configs import MoEModelConfig
+from .tasks import TaskDurations
+
+
+@dataclass(frozen=True)
+class LinearPerfModel:
+    """t(size) = alpha + beta * size, least-squares fitted."""
+
+    alpha: float
+    beta: float
+
+    def predict(self, size: float) -> float:
+        """Predicted seconds for a payload of ``size`` bytes."""
+        return max(0.0, self.alpha + self.beta * size)
+
+    @staticmethod
+    def fit(sizes: List[float], times: List[float]) -> "LinearPerfModel":
+        """Least-squares fit through (size, time) measurements."""
+        if len(sizes) != len(times) or len(sizes) < 2:
+            raise ValueError("need at least two (size, time) points")
+        a = np.vstack([np.ones(len(sizes)), np.asarray(sizes, float)]).T
+        coef, *_ = np.linalg.lstsq(a, np.asarray(times, float), rcond=None)
+        return LinearPerfModel(alpha=float(coef[0]), beta=float(coef[1]))
+
+
+class Profiler:
+    """Profiles the tasks of an MoE layer under one system policy.
+
+    One instance caches all-to-all measurements (keyed by algorithm
+    and payload size), so parameter sweeps such as the paper's 675-
+    configuration Figure 8 reuse measurements across configurations.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        a2a: AllToAll,
+        compressor: Compressor,
+    ):
+        self.spec = spec
+        self.a2a = a2a
+        self.compressor = compressor
+        self._a2a_cache: Dict[Tuple[str, int], float] = {}
+        self._oom_cache: Dict[Tuple[str, int], bool] = {}
+
+    # -- individual task measurements -----------------------------------
+    def measure_a2a_seconds(self, wire_bytes: float) -> float:
+        """All-to-all time for a per-GPU payload of ``wire_bytes``.
+
+        Returns ``inf`` when the algorithm runs out of simulated
+        device memory (paper Fig. 9(c), 1DH-A2A at large tensors).
+        """
+        key = (self.a2a.name, int(round(wire_bytes)))
+        if key not in self._a2a_cache:
+            result = measure_a2a(self.a2a, self.spec, wire_bytes)
+            self._a2a_cache[key] = result.seconds
+            self._oom_cache[key] = result.oom
+        return self._a2a_cache[key]
+
+    def compress_seconds(self, raw_bytes: float) -> float:
+        """One compression task over ``raw_bytes`` of fp32 payload."""
+        return self.compressor.compress_cost(self.spec.gpu, raw_bytes)
+
+    def decompress_seconds(self, raw_bytes: float) -> float:
+        """One decompression task back to ``raw_bytes`` of fp32."""
+        return self.compressor.decompress_cost(self.spec.gpu, raw_bytes)
+
+    def expert_seconds(self, tokens: int, model_dim: int, hidden_dim: int) -> float:
+        """Forward time of one GPU's local experts over ``tokens``."""
+        flops = ffn_forward_flops(tokens, model_dim, hidden_dim)
+        return self.spec.gpu.gemm_time(flops, tensor_core=True)
+
+    # -- layer-level profile ----------------------------------------------
+    def expert_tokens_per_gpu(self, cfg: MoEModelConfig) -> int:
+        """Tokens each GPU's local experts process per pass.
+
+        Each of the E experts receives up to C tokens from each of the
+        P GPUs; with E experts spread over P GPUs a GPU computes
+        ``(E / P) * C * P = E * C`` tokens — which equals
+        ``f * k * B * L`` (all of a GPU's routed assignments,
+        rebalanced by the capacity mechanism).
+        """
+        return cfg.num_experts * cfg.capacity
+
+    def profile_layer(
+        self, cfg: MoEModelConfig, partitions: int
+    ) -> TaskDurations:
+        """Per-chunk task durations for one MoE layer of ``cfg``."""
+        if partitions < 1:
+            raise ValueError(f"partitions must be >= 1, got {partitions}")
+        raw_chunk = cfg.a2a_bytes / partitions
+        wire_chunk = self.compressor.compressed_bytes(raw_chunk)
+        tokens_chunk = max(1, self.expert_tokens_per_gpu(cfg) // partitions)
+        return TaskDurations(
+            compress=self.compress_seconds(raw_chunk),
+            a2a=self.measure_a2a_seconds(wire_chunk),
+            decompress=self.decompress_seconds(raw_chunk),
+            expert=self.expert_seconds(
+                tokens_chunk, cfg.model_dim, cfg.hidden_dim
+            ),
+        )
+
+    # -- performance-model fitting ----------------------------------------
+    def fit_a2a_model(
+        self, sizes: Optional[List[float]] = None
+    ) -> LinearPerfModel:
+        """Fit alpha + beta * bytes over a range of payload sizes."""
+        if sizes is None:
+            sizes = [1e5, 1e6, 4e6, 1.6e7, 6.4e7]
+        times = [self.measure_a2a_seconds(s) for s in sizes]
+        finite = [(s, t) for s, t in zip(sizes, times) if np.isfinite(t)]
+        if len(finite) < 2:
+            raise RuntimeError("not enough finite A2A measurements to fit")
+        return LinearPerfModel.fit(
+            [s for s, _ in finite], [t for _, t in finite]
+        )

@@ -1,0 +1,419 @@
+"""Schedulers and the stream-execution model they are evaluated under.
+
+A schedule is a pair of enqueue orders — one for the computing stream,
+one for the communication stream.  Execution follows CUDA-stream
+semantics: each stream runs its queue strictly FIFO (a task whose
+dependencies are not yet satisfied blocks everything behind it on the
+same stream), tasks on different streams run concurrently, and a task
+starts as soon as its stream reaches it *and* its chain predecessor
+(paper Eqs. 4-9) has finished.  :func:`simulate_order` computes the
+makespan of any such schedule; all schedulers, the optimality property
+tests and the step-time simulator share it, so there is exactly one
+encoding of the paper's resource model.
+
+Built-in scheduling policies:
+
+* :class:`SequentialScheduler` — no overlap at all (paper Fig. 5(a),
+  the "default execution order" / Naive baseline, any r);
+* :class:`ChunkPipelineScheduler` — the chunk-major pipelining of
+  existing systems (paper Fig. 3(b) / Fig. 5(b): FasterMoE's fixed
+  degree-2 pipeline and Tutel's heuristic both take this shape);
+* :class:`OptScheScheduler` — the provably optimal order of paper
+  Theorem 1 / Eq. 12;
+* :class:`BruteForceScheduler` — exhaustive (or sampled) search over
+  valid orders, used to verify Theorem 1 empirically.
+
+Custom schedulers subclass :class:`Scheduler` and register with
+:func:`register_scheduler` — the paper's "user-friendly interface to
+decide the scheduling scheme".
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
+
+from .tasks import CHAIN, Task, TaskDurations, TaskKind, make_tasks
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of executing one schedule."""
+
+    makespan: float
+    timeline: Dict[Task, Tuple[float, float]]
+    comp_order: Tuple[Task, ...]
+    comm_order: Tuple[Task, ...]
+
+    @property
+    def hidden_time(self) -> float:
+        """Paper Eq. 11's t_hidden: total task time minus makespan."""
+        total = sum(end - start for start, end in self.timeline.values())
+        return total - self.makespan
+
+    def render(self, width: int = 72) -> str:
+        """ASCII timeline (one row per task) for the Fig. 5 bench."""
+        if not self.timeline:
+            return "(empty schedule)"
+        scale = width / self.makespan if self.makespan > 0 else 0.0
+        rows = []
+        ordered = sorted(
+            self.timeline.items(), key=lambda kv: (kv[1][0], str(kv[0]))
+        )
+        for task, (start, end) in ordered:
+            lead = int(round(start * scale))
+            span = max(1, int(round((end - start) * scale)))
+            char = "#" if task.is_comm else "="
+            rows.append(f"{str(task):>5} |{' ' * lead}{char * span}")
+        rows.append(f"{'':>5} +{'-' * width}> {self.makespan * 1e3:.3f} ms")
+        return "\n".join(rows)
+
+
+class InvalidScheduleError(ValueError):
+    """Raised when a schedule deadlocks or is malformed."""
+
+
+def _validate(order: Sequence[Task], expect_comm: bool, partitions: int) -> None:
+    expected = {
+        t for t in make_tasks(partitions) if t.is_comm == expect_comm
+    }
+    got = list(order)
+    if len(set(got)) != len(got):
+        raise InvalidScheduleError("duplicate tasks in order")
+    if set(got) != expected:
+        raise InvalidScheduleError(
+            f"order must contain exactly the "
+            f"{'comm' if expect_comm else 'comp'} tasks of {partitions} "
+            f"chunks"
+        )
+
+
+def simulate_order(
+    comp_order: Sequence[Task],
+    comm_order: Sequence[Task],
+    durations: TaskDurations,
+    validate: bool = True,
+    partitions: Optional[int] = None,
+) -> ScheduleResult:
+    """Execute a schedule under the FIFO-stream resource model.
+
+    Returns the timeline and makespan.  Raises
+    :class:`InvalidScheduleError` on circular waiting (an order that
+    can never execute, e.g. a chunk's A2A enqueued before its
+    compression on the same stream pair in conflicting positions).
+    """
+    if partitions is None:
+        partitions = (len(comp_order) + len(comm_order)) // 7
+    if validate:
+        _validate(comp_order, expect_comm=False, partitions=partitions)
+        _validate(comm_order, expect_comm=True, partitions=partitions)
+
+    finish: Dict[Task, float] = {}
+    timeline: Dict[Task, Tuple[float, float]] = {}
+    stream_free = {"comp": 0.0, "comm": 0.0}
+    queues = {"comp": list(comp_order), "comm": list(comm_order)}
+    heads = {"comp": 0, "comm": 0}
+
+    def try_advance(stream: str) -> bool:
+        head = heads[stream]
+        queue = queues[stream]
+        if head >= len(queue):
+            return False
+        task = queue[head]
+        pred = task.predecessor()
+        if pred is not None and pred not in finish:
+            return False
+        ready = finish[pred] if pred is not None else 0.0
+        start = max(stream_free[stream], ready)
+        end = start + durations.of(task.kind)
+        finish[task] = end
+        timeline[task] = (start, end)
+        stream_free[stream] = end
+        heads[stream] += 1
+        return True
+
+    total = len(comp_order) + len(comm_order)
+    while len(finish) < total:
+        advanced = try_advance("comp") | try_advance("comm")
+        if not advanced:
+            blocked_comp = (
+                queues["comp"][heads["comp"]]
+                if heads["comp"] < len(queues["comp"])
+                else None
+            )
+            blocked_comm = (
+                queues["comm"][heads["comm"]]
+                if heads["comm"] < len(queues["comm"])
+                else None
+            )
+            raise InvalidScheduleError(
+                f"schedule deadlocked at comp={blocked_comp}, "
+                f"comm={blocked_comm}"
+            )
+    makespan = max(stream_free.values())
+    return ScheduleResult(
+        makespan=makespan,
+        timeline=timeline,
+        comp_order=tuple(comp_order),
+        comm_order=tuple(comm_order),
+    )
+
+
+# --------------------------------------------------------------------------
+# Scheduler interface + registry
+# --------------------------------------------------------------------------
+
+
+class Scheduler(ABC):
+    """Maps (partitions, durations) to stream enqueue orders."""
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+
+    @abstractmethod
+    def order(
+        self, partitions: int, durations: TaskDurations
+    ) -> Tuple[List[Task], List[Task]]:
+        """(comp_order, comm_order) for one layer pass."""
+
+    def schedule(
+        self, partitions: int, durations: TaskDurations
+    ) -> ScheduleResult:
+        """Order then simulate, in one call."""
+        comp, comm = self.order(partitions, durations)
+        return simulate_order(comp, comm, durations, partitions=partitions)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+_REGISTRY: Dict[str, Type[Scheduler]] = {}
+
+
+def register_scheduler(cls: Type[Scheduler]) -> Type[Scheduler]:
+    """Class decorator adding a scheduling policy to the registry."""
+    if not cls.name:
+        raise ValueError(f"{cls.__name__} must define a non-empty 'name'")
+    if cls.name in _REGISTRY and _REGISTRY[cls.name] is not cls:
+        raise ValueError(f"scheduler {cls.name!r} already registered")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_scheduler(name: str) -> Scheduler:
+    """Instantiate a registered scheduler by name."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown scheduler {name!r}; known: {known}")
+    return cls()
+
+
+def available_schedulers() -> List[str]:
+    """Names of all registered schedulers."""
+    return sorted(_REGISTRY)
+
+
+# --------------------------------------------------------------------------
+# Built-in policies
+# --------------------------------------------------------------------------
+
+
+def _comm_order(partitions: int) -> List[Task]:
+    """A1^1..A1^r then A2^1..A2^r (paper Eqs. 13-14)."""
+    return [Task(TaskKind.A1, i) for i in range(partitions)] + [
+        Task(TaskKind.A2, i) for i in range(partitions)
+    ]
+
+
+@register_scheduler
+class SequentialScheduler(Scheduler):
+    """No overlap: the default execution order of paper Fig. 5(a).
+
+    Chunk-major C1 A1 D1 E C2 A2 D2; the communication stream is fed
+    in the same chunk order, and because every computing task between
+    two A2As of a chunk depends on the previous one, the streams never
+    actually overlap across chunks either — matching Eq. 10's
+    sum-of-everything time when r = 1 and staying near it for r > 1.
+    """
+
+    name = "sequential"
+
+    def order(self, partitions, durations):
+        comp, comm = [], []
+        for chunk in range(partitions):
+            for kind in CHAIN:
+                task = Task(kind, chunk)
+                (comm if task.is_comm else comp).append(task)
+        return comp, comm
+
+
+@register_scheduler
+class ChunkPipelineScheduler(Scheduler):
+    """Chunk-major pipelining (paper Fig. 3(b) / Fig. 5(b)).
+
+    This is the schedule shape of FasterMoE's fixed degree-2 pipeline
+    and Tutel's heuristic: kick off every chunk's first compression,
+    then process each chunk to completion in order (D1 E C2 D2 per
+    chunk).  Compared to OptSche the second decompressions are
+    enqueued eagerly per chunk, delaying the later chunks' C2 and thus
+    the start of their A2A — the suboptimality Fig. 5(c) removes.
+    """
+
+    name = "chunk-pipeline"
+
+    def order(self, partitions, durations):
+        comp = [Task(TaskKind.C1, i) for i in range(partitions)]
+        for chunk in range(partitions):
+            comp.extend(
+                Task(kind, chunk)
+                for kind in (TaskKind.D1, TaskKind.E, TaskKind.C2, TaskKind.D2)
+            )
+        return comp, _comm_order(partitions)
+
+
+@register_scheduler
+class OptScheScheduler(Scheduler):
+    """The optimal order of paper Theorem 1 (Eq. 12).
+
+    ``(C1^1..C1^r)(D1^1 E^1 C2^1)...(D1^r E^r C2^r)(D2^1..D2^r)``:
+    all first compressions run first so the A2A pipeline starts as
+    early as possible; each chunk is then driven straight to its
+    second A2A; all second decompressions are deferred to the end
+    because nothing downstream waits on them.
+    """
+
+    name = "optsche"
+
+    def order(self, partitions, durations):
+        comp = [Task(TaskKind.C1, i) for i in range(partitions)]
+        for chunk in range(partitions):
+            comp.extend(
+                Task(kind, chunk)
+                for kind in (TaskKind.D1, TaskKind.E, TaskKind.C2)
+            )
+        comp.extend(Task(TaskKind.D2, i) for i in range(partitions))
+        return comp, _comm_order(partitions)
+
+
+def valid_comp_orders(partitions: int) -> Iterable[List[Task]]:
+    """All computing-task orders preserving each chunk's chain order.
+
+    (Orders violating a chunk's internal precedence can never win:
+    under FIFO blocking they only delay the stream, so the search
+    space for the brute-force optimum is the set of interleavings of r
+    identical 5-task chains.)
+    """
+    chains = [
+        [
+            Task(kind, chunk)
+            for kind in (
+                TaskKind.C1,
+                TaskKind.D1,
+                TaskKind.E,
+                TaskKind.C2,
+                TaskKind.D2,
+            )
+        ]
+        for chunk in range(partitions)
+    ]
+    remaining = [5] * partitions
+    order: List[Task] = []
+
+    def emit():
+        if len(order) == 5 * partitions:
+            yield list(order)
+            return
+        for chunk in range(partitions):
+            if remaining[chunk] == 0:
+                continue
+            order.append(chains[chunk][5 - remaining[chunk]])
+            remaining[chunk] -= 1
+            yield from emit()
+            remaining[chunk] += 1
+            order.pop()
+
+    yield from emit()
+
+
+def sample_comp_orders(
+    partitions: int, count: int, seed: int = 0
+) -> Iterable[List[Task]]:
+    """Random distinct interleavings (for r where exhaustion explodes)."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    chains_kinds = (
+        TaskKind.C1,
+        TaskKind.D1,
+        TaskKind.E,
+        TaskKind.C2,
+        TaskKind.D2,
+    )
+    seen = set()
+    attempts = 0
+    while len(seen) < count and attempts < count * 20:
+        attempts += 1
+        slots = []
+        for chunk in range(partitions):
+            slots.extend([chunk] * 5)
+        rng.shuffle(slots)
+        key = tuple(slots)
+        if key in seen:
+            continue
+        seen.add(key)
+        positions = [0] * partitions
+        order = []
+        for chunk in slots:
+            order.append(Task(chains_kinds[positions[chunk]], chunk))
+            positions[chunk] += 1
+        yield order
+
+
+@register_scheduler
+class BruteForceScheduler(Scheduler):
+    """Exhaustive search over valid interleavings (small r only).
+
+    Used by the property tests and the scheduler ablation to verify
+    that OptSche's makespan matches the true optimum.  r = 2 is
+    exhaustive (252 interleavings); larger r samples
+    ``sample_count`` random interleavings plus the OptSche order.
+    """
+
+    name = "brute-force"
+
+    #: Exhaustive up to here; the interleaving count is multinomial
+    #: C(5r; 5, ..., 5) and explodes beyond r = 2.
+    max_exhaustive_partitions = 2
+    sample_count = 4000
+
+    def order(self, partitions, durations):
+        comm = _comm_order(partitions)
+        if partitions <= self.max_exhaustive_partitions:
+            candidates: Iterable[List[Task]] = valid_comp_orders(partitions)
+        else:
+            opt_comp, _ = OptScheScheduler().order(partitions, durations)
+            candidates = itertools.chain(
+                [opt_comp],
+                sample_comp_orders(partitions, self.sample_count),
+            )
+        best = None
+        best_order = None
+        for comp in candidates:
+            try:
+                result = simulate_order(
+                    comp, comm, durations, validate=False, partitions=partitions
+                )
+            except InvalidScheduleError:
+                # Some interleavings deadlock under FIFO streams (e.g.
+                # a chunk's D2 enqueued before a later chunk's C1 while
+                # the comm stream still owes that chunk's A1); they are
+                # simply infeasible schedules.
+                continue
+            if best is None or result.makespan < best - 1e-15:
+                best = result.makespan
+                best_order = comp
+        return list(best_order), comm

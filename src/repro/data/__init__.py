@@ -1,0 +1,25 @@
+"""Synthetic datasets standing in for the paper's corpora.
+
+wmt14_en_fr -> :class:`SyntheticTranslation` (topic-conditional
+translation, BLEU-measurable); wikitext-103 / bookcorpus ->
+:class:`SyntheticLM` (topic-conditional Markov text with a known
+optimal perplexity).  See DESIGN.md's substitution table for why these
+preserve the paper's Table 6 comparisons.
+"""
+
+from .synthetic_lm import LMConfig, SyntheticLM
+from .synthetic_translation import SyntheticTranslation, TranslationConfig
+from .vocab import BOS, EOS, NUM_SPECIAL, PAD, UNK, Vocab
+
+__all__ = [
+    "BOS",
+    "EOS",
+    "LMConfig",
+    "NUM_SPECIAL",
+    "PAD",
+    "SyntheticLM",
+    "SyntheticTranslation",
+    "TranslationConfig",
+    "UNK",
+    "Vocab",
+]

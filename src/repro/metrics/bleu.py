@@ -1,0 +1,74 @@
+"""Corpus BLEU (n-gram precision with brevity penalty).
+
+Standard BLEU-4 with add-one smoothing on higher-order n-grams (the
+"method 1" smoothing of Chen & Cherry), over integer token sequences.
+Used for the translation column of paper Table 6.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import List, Sequence
+
+
+def _ngrams(tokens: Sequence[int], n: int) -> Counter:
+    return Counter(
+        tuple(tokens[i : i + n]) for i in range(len(tokens) - n + 1)
+    )
+
+
+def corpus_bleu(
+    hypotheses: List[Sequence[int]],
+    references: List[Sequence[int]],
+    max_n: int = 4,
+    smooth: bool = True,
+) -> float:
+    """BLEU score in [0, 100] over a corpus of token sequences."""
+    if len(hypotheses) != len(references):
+        raise ValueError(
+            f"{len(hypotheses)} hypotheses vs {len(references)} references"
+        )
+    if not hypotheses:
+        raise ValueError("empty corpus")
+    matches = [0] * max_n
+    totals = [0] * max_n
+    hyp_len = 0
+    ref_len = 0
+    for hyp, ref in zip(hypotheses, references):
+        hyp = list(hyp)
+        ref = list(ref)
+        hyp_len += len(hyp)
+        ref_len += len(ref)
+        for n in range(1, max_n + 1):
+            hyp_ngrams = _ngrams(hyp, n)
+            ref_ngrams = _ngrams(ref, n)
+            totals[n - 1] += max(len(hyp) - n + 1, 0)
+            matches[n - 1] += sum(
+                min(count, ref_ngrams[gram])
+                for gram, count in hyp_ngrams.items()
+            )
+
+    log_precision = 0.0
+    for n in range(max_n):
+        m, t = matches[n], totals[n]
+        if smooth and n > 0:
+            m, t = m + 1, t + 1
+        if m == 0 or t == 0:
+            return 0.0
+        log_precision += math.log(m / t)
+    log_precision /= max_n
+
+    if hyp_len == 0:
+        return 0.0
+    brevity = (
+        1.0 if hyp_len >= ref_len else math.exp(1.0 - ref_len / hyp_len)
+    )
+    return 100.0 * brevity * math.exp(log_precision)
+
+
+def sentence_bleu(
+    hypothesis: Sequence[int], reference: Sequence[int], max_n: int = 4
+) -> float:
+    """BLEU of a single sentence pair (smoothed)."""
+    return corpus_bleu([hypothesis], [reference], max_n=max_n)

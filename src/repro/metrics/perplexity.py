@@ -1,0 +1,27 @@
+"""Perplexity and evaluation helpers."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+
+def perplexity_from_nll(mean_nll: float) -> float:
+    """exp of the mean per-token negative log likelihood."""
+    if mean_nll < 0:
+        raise ValueError(f"mean NLL must be >= 0, got {mean_nll}")
+    return math.exp(min(mean_nll, 50.0))  # cap to avoid overflow
+
+
+def evaluate_lm_perplexity(model, batches: Iterable[np.ndarray]) -> float:
+    """Mean validation perplexity of a :class:`TransformerLM`."""
+    model.eval()
+    nlls = []
+    for tokens in batches:
+        nlls.append(model.perplexity_loss(tokens))
+    model.train()
+    if not nlls:
+        raise ValueError("no evaluation batches")
+    return perplexity_from_nll(float(np.mean(nlls)))

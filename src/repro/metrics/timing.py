@@ -1,0 +1,45 @@
+"""Wall-clock measurement helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Callable, List
+
+
+@dataclass
+class TimingStats:
+    """mean +/- std over repeated measurements (the paper's format)."""
+
+    samples: List[float]
+
+    @property
+    def mean(self) -> float:
+        """Sample mean in seconds."""
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (0 for a single sample)."""
+        if len(self.samples) < 2:
+            return 0.0
+        mu = self.mean
+        var = sum((s - mu) ** 2 for s in self.samples) / (len(self.samples) - 1)
+        return math.sqrt(var)
+
+    def format_ms(self) -> str:
+        """"497+/-9"-style rendering in milliseconds."""
+        return f"{self.mean * 1e3:.0f}±{self.std * 1e3:.0f}"
+
+
+def measure(fn: Callable[[], object], repeats: int = 3) -> TimingStats:
+    """Wall-clock ``fn`` ``repeats`` times."""
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return TimingStats(samples)

@@ -1,0 +1,45 @@
+"""Models: numeric transformers for convergence runs, configs for timing.
+
+The numeric models (:class:`TransformerLM`, :class:`Seq2SeqTransformer`)
+are sized down for CPU training of Table 6; the configs
+(:mod:`~repro.models.configs`) describe the paper's full-size models for
+the step-time simulator (Tables 1, 7, 8; Figures 8, 9).
+"""
+
+from .blocks import (
+    TransformerBlock,
+    collect_aux_loss,
+    make_ffn,
+    sinusoidal_positions,
+)
+from .configs import (
+    PAPER_MODELS,
+    MoEModelConfig,
+    ablation_layer,
+    bert_large_moe,
+    ct_moe,
+    gpt2_tiny_moe,
+    layer_config_from_grid,
+    table4_grid,
+    transformer_moe,
+)
+from .gpt2_tiny import TransformerLM
+from .transformer import Seq2SeqTransformer
+
+__all__ = [
+    "MoEModelConfig",
+    "PAPER_MODELS",
+    "Seq2SeqTransformer",
+    "TransformerBlock",
+    "TransformerLM",
+    "ablation_layer",
+    "bert_large_moe",
+    "collect_aux_loss",
+    "ct_moe",
+    "gpt2_tiny_moe",
+    "layer_config_from_grid",
+    "make_ffn",
+    "sinusoidal_positions",
+    "table4_grid",
+    "transformer_moe",
+]

@@ -1,0 +1,25 @@
+"""Mixture-of-experts algorithms: gating, dispatch/combine, experts.
+
+The numerical MoE layer (GShard semantics: top-k gate, expert
+capacity per paper Eq. 1, token dropping, load-balancing loss) used by
+the models and the Table 6 convergence experiments.  The distributed
+*timing* of this layer is handled by :mod:`repro.core`.
+"""
+
+from .dispatch import combine, dispatch
+from .experts import Experts
+from .gating import GateOutput, TopKGate, load_balancing_loss
+from .layer import MoELayer
+from .parallel import A2ATraffic, ExpertParallelGroup
+
+__all__ = [
+    "A2ATraffic",
+    "ExpertParallelGroup",
+    "Experts",
+    "GateOutput",
+    "MoELayer",
+    "TopKGate",
+    "combine",
+    "dispatch",
+    "load_balancing_loss",
+]

@@ -1,0 +1,49 @@
+"""Dispatch and combine: the data movement the A2A collectives carry.
+
+GShard formulates both sides of expert parallelism as einsums over the
+gate's (tokens, experts, capacity) masks; we reproduce that exactly.
+In distributed execution the (E, C, M) dispatched tensor is what the
+first all-to-all ships between GPUs and the combined result is what
+the second all-to-all brings home (paper Fig. 2); numerically the
+single-process computation below is identical to the synchronized
+multi-GPU computation, which is why the convergence experiments can
+run without physical GPUs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.tensor import Tensor, einsum
+
+
+def dispatch(tokens: Tensor, dispatch_mask: np.ndarray) -> Tensor:
+    """Route (T, M) tokens to (E, C, M) expert inputs.
+
+    ``dispatch_mask`` is the gate's raw 0/1 (T, E, C) array; slots with
+    no token stay zero (padding the expert batch to capacity, as the
+    real system does so tensor shapes are static).
+    """
+    if tokens.ndim != 2:
+        raise ValueError(f"tokens must be (T, M), got {tokens.shape}")
+    if dispatch_mask.ndim != 3 or dispatch_mask.shape[0] != tokens.shape[0]:
+        raise ValueError(
+            f"mask {dispatch_mask.shape} incompatible with tokens "
+            f"{tokens.shape}"
+        )
+    return einsum("tm,tec->ecm", tokens, Tensor(dispatch_mask))
+
+
+def combine(expert_outputs: Tensor, combine_weights: Tensor) -> Tensor:
+    """Merge (E, C, M) expert outputs into (T, M) tokens.
+
+    ``combine_weights`` carries the differentiable gate probabilities;
+    a token dropped by capacity receives all-zero output (GShard
+    semantics — the residual connection around the MoE layer keeps its
+    representation alive).
+    """
+    if expert_outputs.ndim != 3:
+        raise ValueError(
+            f"expert outputs must be (E, C, M), got {expert_outputs.shape}"
+        )
+    return einsum("ecm,tec->tm", expert_outputs, combine_weights)

@@ -1,0 +1,53 @@
+"""Expert banks: E independent feed-forward networks.
+
+The paper's ``AbsExpert``: experts are ordinary fflayers (two GEMMs),
+"fast enough" not to need customization but abstracted so the profiler
+can time them and the scheduler can split them into sub-tasks.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.modules import FeedForward, Module, ModuleList
+from ..nn.tensor import Tensor, stack
+
+
+class Experts(Module):
+    """A bank of E feed-forward experts applied to (E, C, M) input."""
+
+    def __init__(
+        self,
+        num_experts: int,
+        model_dim: int,
+        hidden_dim: int,
+        rng: np.random.Generator,
+        activation: str = "relu",
+    ):
+        super().__init__()
+        if num_experts < 1:
+            raise ValueError(f"num_experts must be >= 1, got {num_experts}")
+        self.num_experts = num_experts
+        self.model_dim = model_dim
+        self.hidden_dim = hidden_dim
+        self.experts = ModuleList(
+            [
+                FeedForward(model_dim, hidden_dim, rng, activation=activation)
+                for _ in range(num_experts)
+            ]
+        )
+
+    def forward(self, dispatched: Tensor) -> Tensor:
+        """Apply expert e to slice (e, :, :); returns (E, C, M)."""
+        if dispatched.ndim != 3 or dispatched.shape[0] != self.num_experts:
+            raise ValueError(
+                f"expected ({self.num_experts}, C, M) input, got "
+                f"{dispatched.shape}"
+            )
+        outputs: List[Tensor] = []
+        for e, expert in enumerate(self.experts):
+            outputs.append(expert(dispatched[e]))
+        return stack(outputs, axis=0)

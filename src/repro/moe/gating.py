@@ -1,0 +1,177 @@
+"""Top-k gating with expert capacity (GShard-style).
+
+The gate is a small learned linear layer followed by a softmax (paper
+Section 2.1).  Each token selects its top-k experts; per-expert intake
+is capped at the capacity ``C = ceil(f * k * B * L / E)`` of paper
+Eq. (1), with overflow tokens dropped (their combine weight is zero,
+so they pass through the MoE layer as zeros — exactly GShard's
+behaviour).  Routing *decisions* are discrete and not differentiated;
+the combine *weights* carry gradient through the softmax, and the
+standard load-balancing auxiliary loss keeps the router from
+collapsing onto few experts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.modules import Linear, Module
+from ..nn.tensor import Tensor
+
+
+@dataclass
+class GateOutput:
+    """Everything the MoE layer needs to route one batch of tokens.
+
+    ``dispatch_mask`` is a raw (tokens, experts, capacity) 0/1 array;
+    ``combine_weights`` the same shape carrying differentiable gate
+    probabilities; ``aux_loss`` the load-balancing loss tensor.
+    """
+
+    dispatch_mask: np.ndarray
+    combine_weights: Tensor
+    aux_loss: Tensor
+    expert_load: np.ndarray
+    dropped_tokens: int
+    capacity: int
+
+    @property
+    def num_tokens(self) -> int:
+        """Tokens routed in this batch."""
+        return self.dispatch_mask.shape[0]
+
+    @property
+    def drop_fraction(self) -> float:
+        """Dropped assignments per token (0 when capacity suffices)."""
+        if self.num_tokens == 0:
+            return 0.0
+        return self.dropped_tokens / self.num_tokens
+
+
+class TopKGate(Module):
+    """Learned router: ``softmax(x W_g)`` with top-k selection."""
+
+    def __init__(
+        self,
+        model_dim: int,
+        num_experts: int,
+        rng: np.random.Generator,
+        top_k: int = 2,
+        capacity_factor: float = 1.0,
+        noise_std: float = 0.0,
+    ):
+        super().__init__()
+        if top_k < 1 or top_k > num_experts:
+            raise ValueError(
+                f"top_k must be in [1, {num_experts}], got {top_k}"
+            )
+        if capacity_factor <= 0:
+            raise ValueError(
+                f"capacity_factor must be positive, got {capacity_factor}"
+            )
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.capacity_factor = capacity_factor
+        self.noise_std = noise_std
+        self.wg = Linear(model_dim, num_experts, rng, bias=False)
+        self._rng = rng
+
+    def capacity(self, num_tokens: int) -> int:
+        """Paper Eq. (1) with B*L folded into ``num_tokens``."""
+        cap = int(
+            np.ceil(
+                self.capacity_factor * self.top_k * num_tokens / self.num_experts
+            )
+        )
+        return max(cap, 1)
+
+    def forward(self, tokens: Tensor, capacity: Optional[int] = None) -> GateOutput:
+        """Route a flat (num_tokens, model_dim) tensor.
+
+        Returns masks/weights shaped (tokens, experts, capacity).
+        """
+        if tokens.ndim != 2:
+            raise ValueError(
+                f"gate expects (tokens, model_dim), got shape {tokens.shape}"
+            )
+        num_tokens = tokens.shape[0]
+        cap = capacity if capacity is not None else self.capacity(num_tokens)
+
+        logits = self.wg(tokens)
+        if self.training and self.noise_std > 0:
+            noise = self._rng.standard_normal(logits.shape).astype(np.float32)
+            logits = logits + Tensor(noise * self.noise_std)
+        probs = F.softmax(logits, axis=-1)
+
+        # Discrete routing on raw values.
+        raw = probs.data
+        top_idx = F.top_k_indices(raw, self.top_k, axis=-1)  # (T, k)
+
+        # Assign capacity slots greedily in token order, per expert,
+        # with priority to lower-ranked (higher-probability) choices —
+        # GShard processes the k-th choice after all (k-1)-th choices.
+        positions = np.full((num_tokens, self.top_k), -1, dtype=np.int64)
+        fill = np.zeros(self.num_experts, dtype=np.int64)
+        for choice in range(self.top_k):
+            experts = top_idx[:, choice]
+            for token in range(num_tokens):
+                e = experts[token]
+                if fill[e] < cap:
+                    positions[token, choice] = fill[e]
+                    fill[e] += 1
+
+        kept = positions >= 0
+        dropped = int((~kept).sum())
+
+        dispatch = np.zeros((num_tokens, self.num_experts, cap), dtype=np.float32)
+        token_ids, choice_ids = np.nonzero(kept)
+        expert_ids = top_idx[token_ids, choice_ids]
+        slot_ids = positions[token_ids, choice_ids]
+        dispatch[token_ids, expert_ids, slot_ids] = 1.0
+
+        # Combine weights: the gate probability of each kept
+        # assignment, renormalized over the token's kept experts.
+        gathered = probs[np.arange(num_tokens)[:, None], top_idx]  # (T, k) Tensor
+        kept_f = kept.astype(np.float32)
+        denom = (gathered * Tensor(kept_f)).sum(axis=-1, keepdims=True) + 1e-9
+        norm = gathered * Tensor(kept_f) / denom  # (T, k)
+
+        # Scatter normalized weights into (T, E, C) differentiably:
+        # weight[t, e, c] = sum_k norm[t, k] * dispatch_onehot[t, k, e, c]
+        scatter = np.zeros(
+            (num_tokens, self.top_k, self.num_experts, cap), dtype=np.float32
+        )
+        scatter[token_ids, choice_ids, expert_ids, slot_ids] = 1.0
+        from ..nn.tensor import einsum
+
+        combine = einsum("tk,tkec->tec", norm, Tensor(scatter))
+
+        aux = load_balancing_loss(probs, top_idx[:, 0], self.num_experts)
+        return GateOutput(
+            dispatch_mask=dispatch,
+            combine_weights=combine,
+            aux_loss=aux,
+            expert_load=fill.copy(),
+            dropped_tokens=dropped,
+            capacity=cap,
+        )
+
+
+def load_balancing_loss(
+    probs: Tensor, first_choice: np.ndarray, num_experts: int
+) -> Tensor:
+    """GShard / Switch auxiliary loss: ``E * sum_e m_e * c_e``.
+
+    ``m_e`` is the mean gate probability of expert e over the batch
+    (differentiable); ``c_e`` the fraction of tokens whose first
+    choice is e (discrete).  Minimized at uniform routing where it
+    equals 1.
+    """
+    counts = np.bincount(first_choice, minlength=num_experts).astype(np.float32)
+    frac = counts / max(first_choice.shape[0], 1)
+    mean_probs = probs.mean(axis=0)  # (E,)
+    return (mean_probs * Tensor(frac)).sum() * float(num_experts)

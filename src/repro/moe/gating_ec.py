@@ -1,0 +1,98 @@
+"""Expert-choice routing (Zhou et al., cited in paper Section 8).
+
+Instead of tokens choosing their top-k experts, each expert chooses
+the top-C tokens by affinity — guaranteeing perfectly balanced expert
+workloads by construction (no capacity overflow, no auxiliary loss
+needed).  The paper lists this as one of the orthogonal MoE-algorithm
+directions its system composes with; implementing it behind the same
+:class:`~repro.moe.gating.GateOutput` interface demonstrates exactly
+that composability: the MoE layer, the compression transport, the
+profiler and the scheduler all work unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.modules import Linear, Module
+from ..nn.tensor import Tensor, einsum
+from .gating import GateOutput
+
+
+class ExpertChoiceGate(Module):
+    """Experts pick tokens: guaranteed-balanced routing."""
+
+    def __init__(
+        self,
+        model_dim: int,
+        num_experts: int,
+        rng: np.random.Generator,
+        capacity_factor: float = 1.0,
+        top_k: int = 2,
+    ):
+        super().__init__()
+        if num_experts < 1:
+            raise ValueError(f"num_experts must be >= 1, got {num_experts}")
+        if capacity_factor <= 0:
+            raise ValueError(
+                f"capacity_factor must be positive, got {capacity_factor}"
+            )
+        self.num_experts = num_experts
+        self.capacity_factor = capacity_factor
+        #: Average experts per token the capacity budget allows
+        #: (kept as ``top_k`` for interface parity with TopKGate).
+        self.top_k = top_k
+        self.wg = Linear(model_dim, num_experts, rng, bias=False)
+
+    def capacity(self, num_tokens: int) -> int:
+        """Tokens each expert selects: C = ceil(f * k * T / E)."""
+        cap = int(
+            np.ceil(
+                self.capacity_factor * self.top_k * num_tokens / self.num_experts
+            )
+        )
+        return max(1, min(cap, num_tokens))
+
+    def forward(self, tokens: Tensor, capacity=None) -> GateOutput:
+        if tokens.ndim != 2:
+            raise ValueError(
+                f"gate expects (tokens, model_dim), got shape {tokens.shape}"
+            )
+        num_tokens = tokens.shape[0]
+        cap = capacity if capacity is not None else self.capacity(num_tokens)
+        cap = min(cap, num_tokens)
+
+        logits = self.wg(tokens)
+        probs = F.softmax(logits, axis=-1)  # (T, E)
+
+        # Each expert picks its top-cap tokens by affinity.
+        affinity = probs.data.T  # (E, T)
+        chosen = F.top_k_indices(affinity, cap, axis=-1)  # (E, cap)
+
+        dispatch = np.zeros(
+            (num_tokens, self.num_experts, cap), dtype=np.float32
+        )
+        expert_ids = np.repeat(np.arange(self.num_experts), cap)
+        slot_ids = np.tile(np.arange(cap), self.num_experts)
+        token_ids = chosen.reshape(-1)
+        dispatch[token_ids, expert_ids, slot_ids] = 1.0
+
+        # Combine weights: the (differentiable) affinity of each
+        # selected (token, expert) pair, scattered into (T, E, cap).
+        combine = einsum(
+            "te,tec->tec", probs, Tensor(dispatch)
+        )
+
+        load = np.full(self.num_experts, cap, dtype=np.int64)
+        dropped = int(num_tokens - len(np.unique(token_ids)))
+        # Perfectly balanced by construction -> aux loss constant 1.
+        aux = Tensor(np.float32(1.0)) + (probs.sum() * 0.0)
+        return GateOutput(
+            dispatch_mask=dispatch,
+            combine_weights=combine,
+            aux_loss=aux,
+            expert_load=load,
+            dropped_tokens=dropped,
+            capacity=cap,
+        )

@@ -1,0 +1,131 @@
+"""The MoE layer: gate -> dispatch -> (A2A) -> experts -> (A2A) -> combine.
+
+This is the *numerical* MoE layer used by models and convergence
+experiments.  Timing of its distributed execution lives in
+:mod:`repro.core` / :mod:`repro.systems`; here the dispatch and
+combine all-to-alls appear as their mathematical effect plus an
+optional compressor roundtrip — the payload of each A2A is compressed
+before transport and decompressed after, so a lossy codec corrupts
+exactly the values it corrupts in the real system (paper Section 6.2).
+
+The codec is applied to *both* directions, as in the real system: the
+forward A2A ships compressed activations and the corresponding
+backward A2A ships compressed gradients (the wire is the wire).  The
+transformation itself is not differentiated — the error acts as noise
+on values and on gradients, which is why coarse per-tensor INT8
+measurably hurts convergence (gradients have wide dynamic range)
+while block-scaled ZFP does not (paper Table 6 and the gradient
+discussion in Section 7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..compression.base import Compressor
+from ..nn.modules import Module
+from ..nn.tensor import Tensor
+from .dispatch import combine, dispatch
+from .experts import Experts
+from .gating import GateOutput, TopKGate
+
+
+class MoELayer(Module):
+    """Sparsely activated feed-forward layer (paper Fig. 1).
+
+    Parameters mirror the paper's Table 2 notation: ``model_dim`` M,
+    ``hidden_dim`` H, ``num_experts`` E, ``top_k`` k and
+    ``capacity_factor`` f.
+    """
+
+    def __init__(
+        self,
+        model_dim: int,
+        hidden_dim: int,
+        num_experts: int,
+        rng: np.random.Generator,
+        top_k: int = 2,
+        capacity_factor: float = 1.0,
+        compressor: Optional[Compressor] = None,
+        activation: str = "relu",
+        gate_noise_std: float = 0.0,
+        gate_type: str = "topk",
+    ):
+        super().__init__()
+        self.model_dim = model_dim
+        if gate_type == "topk":
+            self.gate = TopKGate(
+                model_dim,
+                num_experts,
+                rng,
+                top_k=top_k,
+                capacity_factor=capacity_factor,
+                noise_std=gate_noise_std,
+            )
+        elif gate_type == "expert-choice":
+            from .gating_ec import ExpertChoiceGate
+
+            self.gate = ExpertChoiceGate(
+                model_dim,
+                num_experts,
+                rng,
+                capacity_factor=capacity_factor,
+                top_k=top_k,
+            )
+        else:
+            raise ValueError(
+                f"unknown gate_type {gate_type!r}; "
+                "expected 'topk' or 'expert-choice'"
+            )
+        self.experts = Experts(
+            num_experts, model_dim, hidden_dim, rng, activation=activation
+        )
+        self.compressor = compressor
+        #: Auxiliary load-balancing loss of the most recent forward.
+        self.last_aux_loss: Optional[Tensor] = None
+        #: Gate statistics of the most recent forward.
+        self.last_gate_output: Optional[GateOutput] = None
+        #: Raw dispatched (E, C, M) payload of the most recent forward
+        #: — the tensor the first A2A carries (for fidelity studies).
+        self.last_dispatched: Optional[np.ndarray] = None
+
+    def _transport(self, x: Tensor) -> Tensor:
+        """One A2A hop: codec roundtrip on values and on gradients."""
+        if self.compressor is None or self.compressor.bits_per_value >= 32:
+            return x
+        codec = self.compressor
+        corrupted = codec.roundtrip(x.data)
+
+        def backward(g):
+            return ((x, codec.roundtrip(g)),)
+
+        if Tensor._needs_grad(x):
+            return Tensor(corrupted, _parents=(x,), _backward=backward)
+        return Tensor(corrupted)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """(B, L, M) or (T, M) in; same shape out."""
+        original_shape = x.shape
+        if x.ndim == 3:
+            tokens = x.reshape(-1, self.model_dim)
+        elif x.ndim == 2:
+            tokens = x
+        else:
+            raise ValueError(f"expected 2D or 3D input, got shape {x.shape}")
+
+        gate_out = self.gate(tokens)
+        self.last_gate_output = gate_out
+        self.last_aux_loss = gate_out.aux_loss
+
+        dispatched = dispatch(tokens, gate_out.dispatch_mask)
+        self.last_dispatched = dispatched.data
+        dispatched = self._transport(dispatched)  # first A2A
+        expert_out = self.experts(dispatched)
+        expert_out = self._transport(expert_out)  # second A2A
+        merged = combine(expert_out, gate_out.combine_weights)
+
+        if len(original_shape) == 3:
+            return merged.reshape(original_shape)
+        return merged

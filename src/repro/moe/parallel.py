@@ -1,0 +1,165 @@
+"""Literal expert-parallel execution over P logical workers.
+
+This module executes the MoE layer the way the distributed system
+does (paper Fig. 2): every worker holds its own mini-batch shard and a
+subset of experts; dispatch produces per-destination send buffers; an
+explicit all-to-all exchanges them; each worker runs its local experts
+on what it received; a second all-to-all returns results; combine
+merges them.  No simulation shortcuts — real numpy buffers move
+between per-rank data structures.
+
+Its purpose is to *prove the substitution*: the single-process
+:class:`~repro.moe.layer.MoELayer` used for the convergence study is
+numerically identical to this synchronized multi-worker execution
+(`tests/moe/test_parallel_equivalence.py`), so training results
+obtained single-process are exactly what the 32-GPU system would
+produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..compression.base import Compressor
+from .experts import Experts
+from .gating import TopKGate
+from .layer import MoELayer
+
+
+@dataclass
+class A2ATraffic:
+    """Byte accounting of one exchange, per (src, dst) worker pair."""
+
+    matrix: np.ndarray  # (P, P) bytes sent from src to dst
+
+    @property
+    def total_bytes(self) -> float:
+        """All bytes exchanged, self-deliveries included."""
+        return float(self.matrix.sum())
+
+    @property
+    def off_diagonal_bytes(self) -> float:
+        """Bytes that actually cross worker boundaries."""
+        return float(self.matrix.sum() - np.trace(self.matrix))
+
+
+class ExpertParallelGroup:
+    """P logical workers sharing one MoE layer's parameters.
+
+    The group borrows the gate and expert parameters of an existing
+    :class:`MoELayer` (expert ``e`` "lives" on worker
+    ``e // experts_per_worker``), so its forward output can be compared
+    bit-for-bit against the single-process layer.
+    """
+
+    def __init__(self, layer: MoELayer, num_workers: int):
+        num_experts = layer.gate.num_experts
+        if num_workers < 1 or num_experts % num_workers != 0:
+            raise ValueError(
+                f"num_experts {num_experts} must be divisible by "
+                f"num_workers {num_workers}"
+            )
+        self.layer = layer
+        self.num_workers = num_workers
+        self.experts_per_worker = num_experts // num_workers
+
+    # -- helpers -----------------------------------------------------------
+    def _owner(self, expert: int) -> int:
+        return expert // self.experts_per_worker
+
+    def _apply_codec(self, array: np.ndarray) -> np.ndarray:
+        codec: Optional[Compressor] = self.layer.compressor
+        if codec is None or codec.bits_per_value >= 32:
+            return array
+        return codec.roundtrip(array)
+
+    # -- the distributed forward pass ---------------------------------------
+    def forward(self, shards: List[np.ndarray]) -> List[np.ndarray]:
+        """One synchronized forward over per-worker token shards.
+
+        ``shards[w]`` is worker w's (tokens_w, model_dim) input.
+        Returns the per-worker outputs.  Also records
+        ``self.last_dispatch_traffic`` / ``self.last_combine_traffic``.
+        """
+        if len(shards) != self.num_workers:
+            raise ValueError(
+                f"expected {self.num_workers} shards, got {len(shards)}"
+            )
+        gate: TopKGate = self.layer.gate
+        experts: Experts = self.layer.experts
+        num_experts = gate.num_experts
+        model_dim = self.layer.model_dim
+        workers = range(self.num_workers)
+
+        # Every worker gates its own shard with the shared capacity
+        # (synchronous training uses the global token count per
+        # worker; here shards may differ, so each uses its own).
+        from ..nn.tensor import Tensor
+
+        gate_outputs = []
+        for w in workers:
+            tokens = np.asarray(shards[w], dtype=np.float32)
+            if tokens.ndim != 2 or tokens.shape[1] != model_dim:
+                raise ValueError(
+                    f"shard {w} must be (tokens, {model_dim}), got "
+                    f"{tokens.shape}"
+                )
+            gate_outputs.append(gate(Tensor(tokens)))
+
+        # Dispatch: worker w builds, for each expert e, its (C, M)
+        # capacity-padded buffer — the block it sends to e's owner.
+        send_blocks = []  # [w][e] -> (C_w, M)
+        for w in workers:
+            mask = gate_outputs[w].dispatch_mask  # (T, E, C)
+            tokens = np.asarray(shards[w], dtype=np.float32)
+            blocks = np.einsum("tm,tec->ecm", tokens, mask)
+            send_blocks.append(blocks)
+
+        # First all-to-all (dispatch): exchange expert blocks.
+        dispatch_traffic = np.zeros((self.num_workers, self.num_workers))
+        inbox = [[None] * self.num_workers for _ in workers]  # [dst][src]
+        for src in workers:
+            for expert in range(num_experts):
+                dst = self._owner(expert)
+                payload = self._apply_codec(send_blocks[src][expert])
+                dispatch_traffic[src, dst] += payload.nbytes
+                if inbox[dst][src] is None:
+                    inbox[dst][src] = {}
+                inbox[dst][src][expert] = payload
+        self.last_dispatch_traffic = A2ATraffic(dispatch_traffic)
+
+        # Local expert computation on every worker.
+        outbox = [[None] * self.num_workers for _ in workers]  # [src][dst]
+        combine_traffic = np.zeros((self.num_workers, self.num_workers))
+        for w in workers:
+            for src in workers:
+                results = {}
+                for expert, block in inbox[w][src].items():
+                    local = experts.experts[expert]
+                    out = local(Tensor(block)).data
+                    results[expert] = self._apply_codec(out)
+                    combine_traffic[w, src] += results[expert].nbytes
+                outbox[w][src] = results
+        self.last_combine_traffic = A2ATraffic(combine_traffic)
+
+        # Second all-to-all (combine): results return to token owners,
+        # which merge them with their own combine weights.
+        outputs = []
+        for w in workers:
+            weights = gate_outputs[w].combine_weights.data  # (T, E, C)
+            expert_out = np.zeros(
+                (num_experts, weights.shape[2], model_dim), dtype=np.float32
+            )
+            for owner in workers:
+                for expert, out in outbox[owner][w].items():
+                    expert_out[expert] = out
+            merged = np.einsum("ecm,tec->tm", expert_out, weights)
+            outputs.append(merged.astype(np.float32))
+        return outputs
+
+    def forward_concatenated(self, shards: List[np.ndarray]) -> np.ndarray:
+        """Forward then concatenate outputs in worker order."""
+        return np.concatenate(self.forward(shards), axis=0)

@@ -1,0 +1,55 @@
+"""Numpy autograd and neural-network substrate.
+
+A from-scratch replacement for the PyTorch layer the paper builds on:
+reverse-mode AD (:mod:`~repro.nn.tensor`), differentiable primitives
+(:mod:`~repro.nn.functional`), modules (:mod:`~repro.nn.modules`) and
+optimizers (:mod:`~repro.nn.optim`).  All convergence experiments run
+on this substrate for real.
+"""
+
+from . import functional
+from .init import kaiming_normal, normal, xavier_uniform
+from .modules import (
+    Dropout,
+    Embedding,
+    FeedForward,
+    Linear,
+    LayerNorm,
+    Module,
+    ModuleList,
+    MultiHeadAttention,
+    Parameter,
+    Sequential,
+)
+from .optim import SGD, Adam, Optimizer, WarmupInverseSqrt, clip_grad_norm
+from .serialization import load_checkpoint, save_checkpoint
+from .tensor import Tensor, concatenate, einsum, stack, where
+
+__all__ = [
+    "Adam",
+    "Dropout",
+    "Embedding",
+    "FeedForward",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "ModuleList",
+    "MultiHeadAttention",
+    "Optimizer",
+    "Parameter",
+    "SGD",
+    "Sequential",
+    "Tensor",
+    "WarmupInverseSqrt",
+    "clip_grad_norm",
+    "concatenate",
+    "einsum",
+    "functional",
+    "kaiming_normal",
+    "load_checkpoint",
+    "normal",
+    "save_checkpoint",
+    "stack",
+    "where",
+    "xavier_uniform",
+]

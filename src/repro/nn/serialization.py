@@ -1,0 +1,59 @@
+"""Model checkpointing: save/load state dicts as .npz archives."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+import numpy as np
+
+from .modules import Module
+
+#: Reserved archive key holding JSON metadata.
+_META_KEY = "__checkpoint_meta__"
+
+
+def save_checkpoint(
+    model: Module,
+    path: Union[str, Path],
+    metadata: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Write a model's parameters (and optional JSON metadata) to disk.
+
+    Parameter names may contain dots; they are stored verbatim as npz
+    entries.  ``metadata`` must be JSON-serializable.
+    """
+    state = model.state_dict()
+    if _META_KEY in state:
+        raise ValueError(f"parameter name {_META_KEY!r} is reserved")
+    payload = dict(state)
+    meta = dict(metadata or {})
+    payload[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+
+
+def load_checkpoint(
+    model: Module, path: Union[str, Path]
+) -> Dict[str, Any]:
+    """Load parameters saved by :func:`save_checkpoint` into ``model``.
+
+    Returns the stored metadata dict.  Raises on any name or shape
+    mismatch (strict loading).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        meta_raw = archive[_META_KEY].tobytes().decode("utf-8")
+        state = {
+            name: archive[name]
+            for name in archive.files
+            if name != _META_KEY
+        }
+    model.load_state_dict(state)
+    return json.loads(meta_raw)

@@ -1,0 +1,429 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+A small tape-based autograd engine in the spirit of PyTorch's, built
+so the MoE layer's full training semantics — gating softmax, top-k
+routing, dispatch/combine einsums, expert FFNs — differentiate exactly
+like they would in the paper's PyTorch implementation.
+
+Design: every operation returns a new :class:`Tensor` holding the
+result, its parents and a closure that maps the output gradient to
+parent-gradient contributions.  :meth:`Tensor.backward` topologically
+sorts the tape and accumulates gradients into ``.grad`` of leaf
+tensors with ``requires_grad=True``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum away leading broadcast dimensions.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum dimensions that were size-1 in the original.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with an autograd tape."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        _parents: Tuple["Tensor", ...] = (),
+        _backward: Optional[Callable[[np.ndarray], None]] = None,
+    ):
+        if isinstance(data, Tensor):
+            raise TypeError("wrap raw arrays, not Tensors")
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = requires_grad
+        self._parents = _parents
+        self._backward = _backward
+
+    # -- basic introspection -------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (shared, not copied)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A view with the tape cut."""
+        out = Tensor(self.data)
+        out.requires_grad = False
+        return out
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:
+        grad = ", grad" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad})"
+
+    # -- tape management -----------------------------------------------
+    @staticmethod
+    def _needs_grad(*tensors: "Tensor") -> bool:
+        return any(t.requires_grad or t._parents for t in tensors)
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if self.grad is None:
+            self.grad = grad.astype(np.float32, copy=True)
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode AD from this tensor.
+
+        ``grad`` defaults to ones (only valid for scalar outputs this
+        is the conventional seed of 1.0).
+        """
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a "
+                    f"scalar output, got shape {self.shape}"
+                )
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float32)
+        if grad.shape != self.data.shape:
+            raise ValueError(
+                f"gradient shape {grad.shape} != tensor shape {self.shape}"
+            )
+
+        order: List[Tensor] = []
+        seen = set()
+
+        def visit(node: "Tensor") -> None:
+            stack = [(node, iter(node._parents))]
+            seen.add(id(node))
+            while stack:
+                current, parents = stack[-1]
+                advanced = False
+                for parent in parents:
+                    if id(parent) not in seen:
+                        seen.add(id(parent))
+                        stack.append((parent, iter(parent._parents)))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self)
+
+        grads = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad:
+                node._accumulate(node_grad)
+            if node._backward is None:
+                continue
+            for parent, pgrad in node._backward(node_grad):
+                if pgrad is None:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pgrad
+                else:
+                    grads[key] = pgrad
+
+    # -- arithmetic ------------------------------------------------------
+    @staticmethod
+    def _lift(value: ArrayLike) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._lift(other)
+
+        def backward(g):
+            return (
+                (self, _unbroadcast(g, self.shape)),
+                (other, _unbroadcast(g, other.shape)),
+            )
+
+        return self._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g):
+            return ((self, -g),)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-self._lift(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._lift(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._lift(other)
+
+        def backward(g):
+            return (
+                (self, _unbroadcast(g * other.data, self.shape)),
+                (other, _unbroadcast(g * self.data, other.shape)),
+            )
+
+        return self._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = self._lift(other)
+
+        def backward(g):
+            return (
+                (self, _unbroadcast(g / other.data, self.shape)),
+                (
+                    other,
+                    _unbroadcast(
+                        -g * self.data / (other.data * other.data), other.shape
+                    ),
+                ),
+            )
+
+        return self._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._lift(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+
+        def backward(g):
+            return ((self, g * exponent * self.data ** (exponent - 1)),)
+
+        return self._make(self.data**exponent, (self,), backward)
+
+    def __matmul__(self, other: "Tensor") -> "Tensor":
+        other = self._lift(other)
+
+        def backward(g):
+            a, b = self.data, other.data
+            if a.ndim == 1 and b.ndim == 1:
+                return ((self, g * b), (other, g * a))
+            if a.ndim == 1:
+                ga = g @ np.swapaxes(b, -1, -2)
+                gb = np.outer(a, g) if b.ndim == 2 else None
+                if gb is None:
+                    gb = a[..., :, None] * g[..., None, :]
+                return ((self, _unbroadcast(ga, a.shape)),
+                        (other, _unbroadcast(gb, b.shape)))
+            if b.ndim == 1:
+                ga = g[..., :, None] * b[None, :]
+                gb = np.swapaxes(a, -1, -2) @ g
+                return ((self, _unbroadcast(ga, a.shape)),
+                        (other, _unbroadcast(gb, b.shape)))
+            ga = g @ np.swapaxes(b, -1, -2)
+            gb = np.swapaxes(a, -1, -2) @ g
+            return ((self, _unbroadcast(ga, a.shape)),
+                    (other, _unbroadcast(gb, b.shape)))
+
+        return self._make(self.data @ other.data, (self, other), backward)
+
+    # -- reductions ------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        def backward(g):
+            grad = g
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            return ((self, np.broadcast_to(grad, self.shape).copy()),)
+
+        return self._make(
+            self.data.sum(axis=axis, keepdims=keepdims), (self,), backward
+        )
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            expanded = out_data
+            grad = g
+            if axis is not None and not keepdims:
+                expanded = np.expand_dims(out_data, axis)
+                grad = np.expand_dims(g, axis)
+            mask = (self.data == expanded).astype(np.float32)
+            mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            return ((self, mask * grad),)
+
+        return self._make(out_data, (self,), backward)
+
+    # -- shape ops --------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+
+        def backward(g):
+            return ((self, g.reshape(self.shape)),)
+
+        return self._make(self.data.reshape(shape), (self,), backward)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = np.argsort(axes)
+
+        def backward(g):
+            return ((self, g.transpose(inverse)),)
+
+        return self._make(self.data.transpose(axes), (self,), backward)
+
+    def swapaxes(self, a: int, b: int) -> "Tensor":
+        def backward(g):
+            return ((self, g.swapaxes(a, b)),)
+
+        return self._make(self.data.swapaxes(a, b), (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        def backward(g):
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, index, g)
+            return ((self, grad),)
+
+        return self._make(self.data[index], (self,), backward)
+
+    # -- constructor helper ------------------------------------------------
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: Tuple["Tensor", ...],
+        backward: Callable,
+    ) -> "Tensor":
+        if Tensor._needs_grad(*parents):
+            return Tensor(data, _parents=parents, _backward=backward)
+        return Tensor(data)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable concatenation along ``axis``."""
+    tensors = [Tensor._lift(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g):
+        slices = []
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(start, stop)
+            slices.append((tensor, g[tuple(index)]))
+        return tuple(slices)
+
+    if Tensor._needs_grad(*tensors):
+        return Tensor(data, _parents=tuple(tensors), _backward=backward)
+    return Tensor(data)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable stacking along a new ``axis``."""
+    tensors = [Tensor._lift(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g):
+        parts = np.split(g, len(tensors), axis=axis)
+        return tuple(
+            (tensor, np.squeeze(part, axis=axis))
+            for tensor, part in zip(tensors, parts)
+        )
+
+    if Tensor._needs_grad(*tensors):
+        return Tensor(data, _parents=tuple(tensors), _backward=backward)
+    return Tensor(data)
+
+
+def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
+    """Differentiable selection: ``condition`` is a raw boolean array."""
+    a = Tensor._lift(a)
+    b = Tensor._lift(b)
+    cond = np.asarray(condition)
+    data = np.where(cond, a.data, b.data)
+
+    def backward(g):
+        return (
+            (a, _unbroadcast(np.where(cond, g, 0.0), a.shape)),
+            (b, _unbroadcast(np.where(cond, 0.0, g), b.shape)),
+        )
+
+    if Tensor._needs_grad(a, b):
+        return Tensor(data, _parents=(a, b), _backward=backward)
+    return Tensor(data)
+
+
+def einsum(subscripts: str, *tensors: Tensor) -> Tensor:
+    """Differentiable einsum for explicit (``->``) subscripts.
+
+    This is the workhorse of the MoE dispatch/combine path (GShard
+    formulates both as einsums); gradients are computed by rewriting
+    the einsum with the output and the other operands swapped.
+    """
+    tensors = [Tensor._lift(t) for t in tensors]
+    if "->" not in subscripts:
+        raise ValueError("einsum requires explicit '->' output subscripts")
+    inputs, output = subscripts.split("->")
+    terms = inputs.split(",")
+    if len(terms) != len(tensors):
+        raise ValueError(
+            f"einsum got {len(tensors)} operands for {len(terms)} terms"
+        )
+    data = np.einsum(subscripts, *[t.data for t in tensors])
+
+    def backward(g):
+        grads = []
+        for i, tensor in enumerate(tensors):
+            other_terms = [terms[j] for j in range(len(terms)) if j != i]
+            other_data = [tensors[j].data for j in range(len(terms)) if j != i]
+            sub = ",".join([output] + other_terms) + "->" + terms[i]
+            # Dimensions of terms[i] absent from output and the other
+            # operands (summed-out free dims) need broadcasting; they
+            # cannot appear for our use cases, so einsum suffices.
+            grad = np.einsum(sub, g, *other_data)
+            grads.append((tensor, grad))
+        return tuple(grads)
+
+    if Tensor._needs_grad(*tensors):
+        return Tensor(data, _parents=tuple(tensors), _backward=backward)
+    return Tensor(data)

@@ -1,0 +1,97 @@
+"""Comparison harness: run model configs across system policies.
+
+Shares one :class:`~repro.core.profiler.Profiler` per (a2a, codec)
+pair so large sweeps (the paper's 675-configuration Figure 8) reuse
+all-to-all measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..cluster.topology import ClusterSpec
+from ..collectives.base import get_a2a
+from ..compression.base import get_compressor
+from ..core.profiler import Profiler
+from ..core.system import StepBreakdown, SystemPolicy, simulate_model_step
+from ..models.configs import MoEModelConfig
+
+
+class SystemRunner:
+    """Runs step-time simulations with cached profilers."""
+
+    def __init__(self, spec: ClusterSpec):
+        self.spec = spec
+        self._profilers: Dict[Tuple[str, str], Profiler] = {}
+
+    def profiler_for(self, policy: SystemPolicy) -> Profiler:
+        """The shared profiler of this policy's (a2a, codec) pair."""
+        key = (policy.a2a, policy.compressor)
+        if key not in self._profilers:
+            self._profilers[key] = Profiler(
+                self.spec,
+                a2a=get_a2a(policy.a2a),
+                compressor=get_compressor(policy.compressor),
+            )
+        return self._profilers[key]
+
+    def step(self, cfg: MoEModelConfig, policy: SystemPolicy) -> StepBreakdown:
+        """One model step under one policy."""
+        return simulate_model_step(
+            cfg, self.spec, policy, profiler=self.profiler_for(policy)
+        )
+
+    def compare(
+        self, cfg: MoEModelConfig, policies: Iterable[SystemPolicy]
+    ) -> Dict[str, StepBreakdown]:
+        """The same model under several policies, keyed by policy name."""
+        return {p.name: self.step(cfg, p) for p in policies}
+
+
+@dataclass
+class SpeedupStats:
+    """Summary of a speedup distribution (paper Fig. 8)."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    histogram: List[Tuple[float, float, int]]  # (lo, hi, count)
+
+    @staticmethod
+    def from_values(
+        values: List[float], bin_edges: Optional[List[float]] = None
+    ) -> "SpeedupStats":
+        if not values:
+            raise ValueError("no speedup values")
+        if bin_edges is None:
+            bin_edges = [1.0, 1.1, 1.2, 1.3, 1.4, 1.5, 2.0, 10.0]
+        histogram = []
+        for lo, hi in zip(bin_edges[:-1], bin_edges[1:]):
+            histogram.append(
+                (lo, hi, sum(1 for v in values if lo <= v < hi))
+            )
+        below = sum(1 for v in values if v < bin_edges[0])
+        if below:
+            histogram.insert(0, (0.0, bin_edges[0], below))
+        return SpeedupStats(
+            count=len(values),
+            mean=sum(values) / len(values),
+            minimum=min(values),
+            maximum=max(values),
+            histogram=histogram,
+        )
+
+    def render(self, width: int = 40) -> str:
+        """ASCII histogram."""
+        peak = max((c for *_edges, c in self.histogram), default=1)
+        rows = []
+        for lo, hi, count in self.histogram:
+            bar = "#" * int(round(width * count / peak)) if peak else ""
+            rows.append(f"[{lo:4.2f}, {hi:4.2f}) {count:4d} {bar}")
+        rows.append(
+            f"n={self.count} mean={self.mean:.3f} "
+            f"min={self.minimum:.3f} max={self.maximum:.3f}"
+        )
+        return "\n".join(rows)

@@ -1,0 +1,29 @@
+"""Training loops and the Table 6 convergence experiment."""
+
+from .convergence import (
+    VARIANTS,
+    ConvergenceResult,
+    default_lm_corpus,
+    default_mt_corpus,
+    run_lm_convergence,
+    run_translation_convergence,
+)
+from .trainer import (
+    TrainHistory,
+    evaluate_translation_bleu,
+    train_lm,
+    train_translation,
+)
+
+__all__ = [
+    "ConvergenceResult",
+    "TrainHistory",
+    "VARIANTS",
+    "default_lm_corpus",
+    "default_mt_corpus",
+    "evaluate_translation_bleu",
+    "run_lm_convergence",
+    "run_translation_convergence",
+    "train_lm",
+    "train_translation",
+]

@@ -1,0 +1,151 @@
+"""Training loops for the convergence experiments (paper Table 6).
+
+Single-process training here is numerically identical to synchronized
+data+expert-parallel training (synchronous SGD averages the same
+gradients), so these runs stand in for the paper's 32-GPU convergence
+study at a CPU-tractable scale.  Compression variants train with the
+codec applied to both A2A hops of every MoE layer, exactly where the
+real system would corrupt activations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from ..data.synthetic_lm import SyntheticLM
+from ..data.synthetic_translation import SyntheticTranslation
+from ..data.vocab import BOS, EOS, PAD
+from ..metrics.bleu import corpus_bleu
+from ..metrics.perplexity import evaluate_lm_perplexity
+from ..models.gpt2_tiny import TransformerLM
+from ..models.transformer import Seq2SeqTransformer
+from ..nn.optim import Adam, clip_grad_norm
+
+
+@dataclass
+class TrainHistory:
+    """Loss trace and final validation metric of one run."""
+
+    losses: List[float] = field(default_factory=list)
+    metric_name: str = ""
+    metric: float = float("nan")
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the last training step."""
+        if not self.losses:
+            raise ValueError("no training steps recorded")
+        return self.losses[-1]
+
+    def smoothed_final_loss(self, window: int = 10) -> float:
+        """Mean of the last ``window`` losses."""
+        if not self.losses:
+            raise ValueError("no training steps recorded")
+        tail = self.losses[-window:]
+        return float(np.mean(tail))
+
+
+def train_lm(
+    model: TransformerLM,
+    corpus: SyntheticLM,
+    steps: int = 200,
+    batch_size: int = 16,
+    lr: float = 3e-3,
+    grad_clip: float = 1.0,
+    seed: int = 0,
+    eval_batches: int = 8,
+) -> TrainHistory:
+    """Train a causal LM; metric = validation perplexity."""
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    optimizer = Adam(model.parameters(), lr=lr)
+    history = TrainHistory(metric_name="perplexity")
+    model.train()
+    for step, tokens in enumerate(
+        corpus.batches(batch_size, steps, seed=seed)
+    ):
+        optimizer.zero_grad()
+        loss = model.loss(tokens)
+        loss.backward()
+        clip_grad_norm(model.parameters(), grad_clip)
+        optimizer.step()
+        history.losses.append(float(loss.data))
+    history.metric = evaluate_lm_perplexity(
+        model, corpus.batches(batch_size, eval_batches, seed=seed + 10_000)
+    )
+    return history
+
+
+def train_translation(
+    model: Seq2SeqTransformer,
+    corpus: SyntheticTranslation,
+    steps: int = 200,
+    batch_size: int = 16,
+    lr: float = 3e-3,
+    grad_clip: float = 1.0,
+    seed: int = 0,
+    eval_batches: int = 8,
+) -> TrainHistory:
+    """Train a seq2seq model; metric = validation BLEU."""
+    if steps < 1:
+        raise ValueError("steps must be >= 1")
+    optimizer = Adam(model.parameters(), lr=lr)
+    history = TrainHistory(metric_name="bleu")
+    model.train()
+    for src, tgt_in, tgt_out in corpus.batches(batch_size, steps, seed=seed):
+        optimizer.zero_grad()
+        loss = model.loss(src, tgt_in, tgt_out)
+        loss.backward()
+        clip_grad_norm(model.parameters(), grad_clip)
+        optimizer.step()
+        history.losses.append(float(loss.data))
+    history.metric = evaluate_translation_bleu(
+        model, corpus, num_batches=eval_batches, seed=seed + 10_000,
+        batch_size=batch_size,
+    )
+    return history
+
+
+def evaluate_translation_bleu(
+    model: Seq2SeqTransformer,
+    corpus: SyntheticTranslation,
+    num_batches: int = 8,
+    batch_size: int = 16,
+    seed: int = 777,
+) -> float:
+    """Greedy-decode validation BLEU."""
+    model.eval()
+    hyps: List[List[int]] = []
+    refs: List[List[int]] = []
+    for src, _tgt_in, tgt_out in corpus.batches(
+        batch_size, num_batches, seed=seed
+    ):
+        decoded = model.greedy_decode(
+            src, bos_id=BOS, eos_id=EOS, max_len=tgt_out.shape[1] + 2
+        )
+        for hyp_row, ref_row in zip(decoded, tgt_out):
+            hyp = _strip(hyp_row)
+            ref = _strip(ref_row)
+            if ref:
+                hyps.append(hyp)
+                refs.append(ref)
+    model.train()
+    if not refs:
+        raise RuntimeError("no evaluable sentences")
+    return corpus_bleu(hyps, refs)
+
+
+def _strip(tokens: np.ndarray) -> List[int]:
+    """Drop padding and everything after the first EOS."""
+    out: List[int] = []
+    for t in tokens:
+        t = int(t)
+        if t == PAD:
+            continue
+        out.append(t)
+        if t == EOS:
+            break
+    return out

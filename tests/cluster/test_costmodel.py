@@ -1,0 +1,104 @@
+"""Unit tests of link and GPU cost models."""
+
+import pytest
+
+from repro.cluster.costmodel import (
+    GpuModel,
+    LinkModel,
+    a2a_input_bytes,
+    attention_forward_flops,
+    bytes_of,
+    expert_capacity,
+    ffn_backward_flops,
+    ffn_forward_flops,
+)
+
+
+def test_link_alpha_beta():
+    link = LinkModel(name="l", latency_s=1e-5, bandwidth_bps=1e9)
+    assert link.transfer_time(0) == pytest.approx(1e-5)
+    assert link.transfer_time(1e9) == pytest.approx(1.00001)
+    with pytest.raises(ValueError):
+        link.transfer_time(-1)
+
+
+def _gpu(**overrides):
+    base = dict(
+        name="g",
+        peak_flops=10e12,
+        memory_bandwidth_bps=500e9,
+        memory_bytes=8e9,
+        peak_efficiency=0.5,
+        half_saturation_flops=1e9,
+        kernel_launch_s=1e-6,
+    )
+    base.update(overrides)
+    return GpuModel(**base)
+
+
+def test_gemm_efficiency_saturates():
+    gpu = _gpu()
+    tiny = gpu.gemm_efficiency(1e6)
+    big = gpu.gemm_efficiency(1e12)
+    assert tiny < 0.1 * gpu.peak_efficiency
+    assert big > 0.99 * gpu.peak_efficiency
+
+
+def test_gemm_time_monotone_in_flops():
+    gpu = _gpu()
+    times = [gpu.gemm_time(f) for f in (1e6, 1e8, 1e10, 1e12)]
+    assert times == sorted(times)
+
+
+def test_tensor_core_faster_when_available():
+    gpu = _gpu(tensor_flops=40e12, tensor_efficiency=0.5)
+    flops = 1e12
+    assert gpu.gemm_time(flops, tensor_core=True) < gpu.gemm_time(flops)
+    # Without tensor cores, the flag is a no-op.
+    plain = _gpu(tensor_flops=0.0)
+    assert plain.gemm_time(flops, tensor_core=True) == pytest.approx(
+        plain.gemm_time(flops)
+    )
+
+
+def test_gemm_time_rejects_negative():
+    with pytest.raises(ValueError):
+        _gpu().gemm_time(-1.0)
+
+
+def test_memory_time_linear():
+    gpu = _gpu()
+    t1 = gpu.memory_time(500e9)
+    assert t1 == pytest.approx(1.0 + 1e-6)
+    with pytest.raises(ValueError):
+        gpu.memory_time(-5)
+
+
+def test_a2a_input_bytes_matches_eq2():
+    # S = f*k*B*L*M*b/8 — paper Eq. (2).
+    s = a2a_input_bytes(
+        batch=8, seq_len=2048, model_dim=8192, capacity_factor=1.2, top_k=1
+    )
+    assert s == pytest.approx(1.2 * 1 * 8 * 2048 * 8192 * 4)
+
+
+def test_expert_capacity_matches_eq1():
+    # C = f*k*B*L/E — paper Eq. (1).
+    assert expert_capacity(8, 2048, 32, 1.2, 1) == 615  # ceil(614.4)
+    assert expert_capacity(2, 512, 32, 1.0, 2) == 64
+    with pytest.raises(ValueError):
+        expert_capacity(2, 512, 0, 1.0, 2)
+
+
+def test_ffn_flops_shapes():
+    fwd = ffn_forward_flops(100, 512, 2048)
+    assert fwd == pytest.approx(2 * 100 * 512 * 2048 * 2)
+    assert ffn_backward_flops(100, 512, 2048) == pytest.approx(2 * fwd)
+    assert attention_forward_flops(100, 512, 64) > 0
+
+
+def test_bytes_of():
+    assert bytes_of(10, 32) == 40
+    assert bytes_of(10, 8) == 10
+    with pytest.raises(ValueError):
+        bytes_of(10, 0)

@@ -1,0 +1,199 @@
+"""Unit tests of the discrete-event engine."""
+
+import pytest
+
+from repro.cluster.engine import (
+    AllOf,
+    AnyOf,
+    Engine,
+    Resource,
+    SimulationError,
+)
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+    fired = []
+
+    def proc(eng):
+        yield eng.timeout(1.5)
+        fired.append(eng.now)
+        yield eng.timeout(0.5)
+        fired.append(eng.now)
+
+    eng.process(proc(eng))
+    eng.run()
+    assert fired == [1.5, 2.0]
+    assert eng.now == 2.0
+
+
+def test_negative_timeout_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.timeout(-1.0)
+
+
+def test_run_until_caps_time():
+    eng = Engine()
+
+    def proc(eng):
+        yield eng.timeout(10.0)
+
+    eng.process(proc(eng))
+    assert eng.run(until=3.0) == 3.0
+    assert eng.now == 3.0
+    # Remaining events still execute on a later full run.
+    eng.run()
+    assert eng.now == 10.0
+
+
+def test_event_fires_once():
+    eng = Engine()
+    ev = eng.event("x")
+    ev.succeed(42)
+    with pytest.raises(SimulationError):
+        ev.succeed()
+
+
+def test_waiting_on_fired_event_resumes_immediately():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed("value")
+    got = []
+
+    def proc(eng, ev):
+        value = yield ev
+        got.append((eng.now, value))
+
+    eng.process(proc(eng, ev))
+    eng.run()
+    assert got == [(0.0, "value")]
+
+
+def test_resource_serializes_holders():
+    eng = Engine()
+    res = Resource(eng, name="r")
+    finished = []
+
+    def proc(eng, res, dt, tag):
+        with (yield from res.acquire()):
+            yield eng.timeout(dt)
+        finished.append((tag, eng.now))
+
+    eng.process(proc(eng, res, 2.0, "a"))
+    eng.process(proc(eng, res, 3.0, "b"))
+    eng.process(proc(eng, res, 1.0, "c"))
+    eng.run()
+    assert finished == [("a", 2.0), ("b", 5.0), ("c", 6.0)]
+
+
+def test_resource_capacity_two_admits_pairs():
+    eng = Engine()
+    res = Resource(eng, name="r", capacity=2)
+    finished = []
+
+    def proc(eng, res, tag):
+        with (yield from res.acquire()):
+            yield eng.timeout(1.0)
+        finished.append((tag, eng.now))
+
+    for tag in "abcd":
+        eng.process(proc(eng, res, tag))
+    eng.run()
+    assert [t for _, t in finished] == [1.0, 1.0, 2.0, 2.0]
+
+
+def test_resource_release_of_idle_raises():
+    eng = Engine()
+    res = Resource(eng, name="r")
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_capacity_validation():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        Resource(eng, capacity=0)
+
+
+def test_all_of_waits_for_every_child():
+    eng = Engine()
+    times = []
+
+    def waiter(eng, events):
+        yield AllOf(eng, events)
+        times.append(eng.now)
+
+    t1, t2 = eng.timeout(1.0), eng.timeout(4.0)
+    eng.process(waiter(eng, [t1, t2]))
+    eng.run()
+    assert times == [4.0]
+
+
+def test_all_of_with_already_fired_children():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(1)
+    combined = AllOf(eng, [ev])
+    assert combined.fired
+    assert combined.value == [1]
+
+
+def test_any_of_fires_on_first_child():
+    eng = Engine()
+    times = []
+
+    def waiter(eng, events):
+        yield AnyOf(eng, events)
+        times.append(eng.now)
+
+    eng.process(waiter(eng, [eng.timeout(5.0), eng.timeout(2.0)]))
+    eng.run()
+    assert times == [2.0]
+
+
+def test_process_return_value_propagates():
+    eng = Engine()
+    results = []
+
+    def child(eng):
+        yield eng.timeout(1.0)
+        return "done"
+
+    def parent(eng):
+        value = yield eng.process(child(eng))
+        results.append(value)
+
+    eng.process(parent(eng))
+    eng.run()
+    assert results == ["done"]
+
+
+def test_yielding_non_event_raises():
+    eng = Engine()
+
+    def bad(eng):
+        yield 42
+
+    eng.process(bad(eng))
+    with pytest.raises(SimulationError):
+        eng.run()
+
+
+def test_deterministic_fifo_at_same_timestamp():
+    """Events at the same time run in scheduling order, repeatably."""
+
+    def run_once():
+        eng = Engine()
+        order = []
+
+        def proc(eng, tag):
+            yield eng.timeout(1.0)
+            order.append(tag)
+
+        for tag in range(10):
+            eng.process(proc(eng, tag))
+        eng.run()
+        return order
+
+    assert run_once() == run_once() == list(range(10))

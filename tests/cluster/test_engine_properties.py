@@ -1,0 +1,101 @@
+"""Property-based tests of the event engine (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.engine import Engine, Resource
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    )
+)
+def test_exclusive_resource_serializes_to_sum(durations):
+    """N holders of a capacity-1 resource finish at the prefix sums."""
+    eng = Engine()
+    res = Resource(eng, "r")
+    finished = []
+
+    def proc(dt, tag):
+        with (yield from res.acquire()):
+            yield eng.timeout(dt)
+        finished.append((tag, eng.now))
+
+    for i, dt in enumerate(durations):
+        eng.process(proc(dt, i))
+    eng.run()
+    assert eng.now == sum(durations)
+    # FIFO order preserved.
+    assert [tag for tag, _t in finished] == list(range(len(durations)))
+    running = 0.0
+    for (_tag, t), dt in zip(finished, durations):
+        running += dt
+        assert t == running
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    ),
+    capacity=st.integers(min_value=1, max_value=8),
+)
+def test_capacity_bounds_makespan(durations, capacity):
+    """Makespan is bounded by the greedy schedule and below the sum."""
+    eng = Engine()
+    res = Resource(eng, "r", capacity=capacity)
+
+    def proc(dt):
+        with (yield from res.acquire()):
+            yield eng.timeout(dt)
+
+    for dt in durations:
+        eng.process(proc(dt))
+    eng.run()
+    total = sum(durations)
+    longest = max(durations)
+    # Classic list-scheduling bounds.
+    assert eng.now >= max(longest, total / capacity) - 1e-9
+    assert eng.now <= total + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    delays=st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_independent_timeouts_finish_at_max(delays):
+    eng = Engine()
+
+    def proc(dt):
+        yield eng.timeout(dt)
+
+    for dt in delays:
+        eng.process(proc(dt))
+    eng.run()
+    assert eng.now == max(delays)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=st.integers(min_value=1, max_value=50))
+def test_all_of_equals_last_child(n):
+    eng = Engine()
+    events = [eng.timeout(float(i)) for i in range(n)]
+    fired_at = []
+
+    def waiter():
+        yield eng.all_of(events)
+        fired_at.append(eng.now)
+
+    eng.process(waiter())
+    eng.run()
+    assert fired_at == [float(n - 1)]

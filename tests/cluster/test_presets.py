@@ -1,0 +1,47 @@
+"""Preset cluster sanity checks."""
+
+import pytest
+
+from repro.cluster import (
+    custom_ratio_testbed,
+    ethernet_cluster,
+    get_preset,
+    nvlink_dgx,
+    paper_testbed,
+)
+
+
+def test_paper_testbed_shape():
+    spec = paper_testbed()
+    assert spec.world_size == 32
+    assert spec.num_nodes == 8
+    assert spec.gpus_per_node == 4
+    assert spec.gpu.memory_bytes == pytest.approx(11 * 1024**3)
+    # The paper's premise: intra SR fabric is the slow path; bulk and
+    # NIC are comparable.
+    assert spec.intra_link.bandwidth_bps < spec.inter_link.bandwidth_bps
+    assert spec.intra_bulk_link.bandwidth_bps > spec.intra_link.bandwidth_bps
+
+
+def test_nvlink_preset_has_fast_intra():
+    spec = nvlink_dgx()
+    assert spec.intra_link.bandwidth_bps > 10 * spec.inter_link.bandwidth_bps
+
+
+def test_ethernet_preset_is_inter_bound():
+    spec = ethernet_cluster()
+    assert spec.inter_link.bandwidth_bps < spec.intra_link.bandwidth_bps
+
+
+def test_get_preset_lookup():
+    assert get_preset("paper_testbed").world_size == 32
+    with pytest.raises(KeyError):
+        get_preset("nope")
+
+
+def test_custom_ratio_testbed():
+    spec = custom_ratio_testbed(2e9, 8e9, num_nodes=2, gpus_per_node=2)
+    assert spec.intra_link.bandwidth_bps == 2e9
+    assert spec.inter_link.bandwidth_bps == 8e9
+    with pytest.raises(ValueError):
+        custom_ratio_testbed(-1, 8e9)

@@ -1,0 +1,53 @@
+"""Tests of the PXN-style aggregated pipelined all-to-all."""
+
+import pytest
+
+from repro.collectives import get_a2a, measure_a2a
+
+
+def test_pxn_registered():
+    assert get_a2a("pxn").name == "pxn"
+
+
+def test_pxn_completes_on_small_cluster(small_spec):
+    result = measure_a2a(get_a2a("pxn"), small_spec, 1e6)
+    assert not result.oom
+    assert result.seconds > 0
+
+
+def test_pxn_between_2dh_and_pipe(paper_spec):
+    """Aggregation + pipelining beats barriered 2DH but the rail
+    bottleneck keeps it behind Pipe-A2A's all-pairwise overlap."""
+    size = 2.56e8
+    t_2dh = measure_a2a(get_a2a("2dh"), paper_spec, size).seconds
+    t_pxn = measure_a2a(get_a2a("pxn"), paper_spec, size).seconds
+    t_pipe = measure_a2a(get_a2a("pipe"), paper_spec, size).seconds
+    assert t_pipe < t_pxn < t_2dh
+
+
+def test_pxn_beats_sequential_nccl_at_large(paper_spec):
+    size = 6.4e8
+    t_nccl = measure_a2a(get_a2a("nccl"), paper_spec, size).seconds
+    t_pxn = measure_a2a(get_a2a("pxn"), paper_spec, size).seconds
+    assert t_pxn < t_nccl
+
+
+def test_pxn_workspace_accounted(paper_spec):
+    algo = get_a2a("pxn")
+    assert algo.workspace_bytes(paper_spec, 1e6, rank=0) == 1e6
+
+
+def test_pxn_single_node(small_spec):
+    from repro.cluster import ClusterSpec, LinkModel
+    from repro.cluster.presets import rtx2080ti
+
+    spec = ClusterSpec(
+        name="one",
+        num_nodes=1,
+        gpus_per_node=4,
+        gpu=rtx2080ti(),
+        intra_link=LinkModel("i", 1e-6, 2e9),
+        inter_link=LinkModel("e", 3e-6, 8e9),
+    )
+    result = measure_a2a(get_a2a("pxn"), spec, 1e6)
+    assert result.stats["inter_messages"] == 0

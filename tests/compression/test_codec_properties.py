@@ -1,0 +1,82 @@
+"""Property-based tests of codec invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.compression import get_compressor
+
+finite_f32 = st.floats(
+    min_value=-1e4, max_value=1e4, allow_nan=False, width=32
+)
+
+
+def tensors(max_side: int = 40):
+    return arrays(
+        dtype=np.float32,
+        shape=array_shapes(min_dims=1, max_dims=3, min_side=1, max_side=max_side),
+        elements=finite_f32,
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=tensors())
+def test_roundtrip_preserves_shape_and_dtype(x):
+    for name in ("none", "fp16", "int8", "zfp"):
+        out = get_compressor(name).roundtrip(x)
+        assert out.shape == x.shape
+        assert out.dtype == np.float32
+        assert np.all(np.isfinite(out))
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=tensors())
+def test_int8_error_bounded_by_peak(x):
+    codec = get_compressor("int8")
+    out = codec.roundtrip(x)
+    peak = float(np.abs(x).max())
+    assert np.abs(out - x).max() <= peak / 127.0 + 1e-6
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=tensors())
+def test_zfp_error_bounded_by_local_block_scale(x):
+    """Each value's error is bounded by its own 64-block's peak."""
+    codec = get_compressor("zfp")
+    out = codec.roundtrip(x)
+    flat = x.ravel()
+    err = np.abs(out.ravel() - flat)
+    for start in range(0, flat.size, 64):
+        block = flat[start : start + 64]
+        block_err = err[start : start + 64]
+        # Shared exponent e >= log2(peak); quantization step is
+        # 2^e / 127 <= 2 * peak / 127.
+        bound = 2.0 * np.abs(block).max() / 127.0 + 1e-7
+        assert block_err.max() <= bound
+
+
+@settings(max_examples=40, deadline=None)
+@given(x=tensors())
+def test_fp16_is_idempotent(x):
+    """fp16 output values are exactly representable, so a second
+    roundtrip is lossless.  (Quantizing codecs like int8/zfp are NOT
+    idempotent in general: round-to-nearest can move a value across a
+    rounding boundary.)"""
+    codec = get_compressor("fp16")
+    once = codec.roundtrip(x)
+    np.testing.assert_array_equal(codec.roundtrip(once), once)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=tensors(max_side=24),
+    scale=st.sampled_from([0.25, 0.5, 2.0, 4.0]),
+)
+def test_zfp_power_of_two_scale_invariance(x, scale):
+    """Scaling input by 2^k scales the error by exactly 2^k: block
+    floating point only shifts the shared exponent."""
+    codec = get_compressor("zfp")
+    base = codec.roundtrip(x)
+    scaled = codec.roundtrip(x * scale)
+    np.testing.assert_allclose(scaled, base * scale, rtol=1e-6, atol=1e-30)

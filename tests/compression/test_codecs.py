@@ -1,0 +1,188 @@
+"""Tests of the compression codecs (paper's AbsCompressor plugins)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.presets import rtx2080ti
+from repro.compression import (
+    CompressedTensor,
+    Fp16Compressor,
+    Int8Compressor,
+    NoopCompressor,
+    ZfpLikeCompressor,
+    available_compressors,
+    get_compressor,
+)
+
+
+@pytest.fixture
+def activations(rng):
+    """Activation-like data with heterogeneous per-region scale."""
+    x = rng.standard_normal((64, 128)).astype(np.float32)
+    x[:4] *= 40.0  # outlier rows (realistic transformer behaviour)
+    return x
+
+
+def test_registry_contains_paper_codecs():
+    names = available_compressors()
+    for expected in ("none", "fp16", "int8", "zfp"):
+        assert expected in names
+    with pytest.raises(KeyError):
+        get_compressor("gzip")
+
+
+def test_noop_is_exact(activations):
+    codec = NoopCompressor()
+    out = codec.roundtrip(activations)
+    np.testing.assert_array_equal(out, activations)
+    assert codec.ratio == 1.0
+
+
+def test_fp16_near_lossless(activations):
+    codec = Fp16Compressor()
+    out = codec.roundtrip(activations)
+    rel = np.linalg.norm(out - activations) / np.linalg.norm(activations)
+    assert rel < 1e-3
+    assert codec.ratio == pytest.approx(2.0)
+
+
+def test_int8_ratio_and_bounded_error(activations):
+    codec = Int8Compressor()
+    compressed = codec.compress(activations)
+    assert compressed.nbytes == activations.size  # 1 byte per value
+    out = codec.decompress(compressed)
+    peak = np.abs(activations).max()
+    assert np.abs(out - activations).max() <= peak / 127.0 * 1.01
+
+
+def test_int8_zero_tensor():
+    codec = Int8Compressor()
+    zeros = np.zeros((8, 8), dtype=np.float32)
+    np.testing.assert_array_equal(codec.roundtrip(zeros), zeros)
+
+
+def test_zfp_ratio_close_to_4x(activations):
+    codec = get_compressor("zfp")
+    compressed = codec.compress(activations)
+    assert 3.8 < activations.nbytes / compressed.nbytes <= 4.0
+
+
+def test_zfp_blockwise_beats_int8_on_outliers(activations):
+    """The load-bearing Table 6 property: per-block exponents keep
+    ZFP's error well below per-tensor INT8 at the same wire size."""
+    zfp = get_compressor("zfp")
+    int8 = get_compressor("int8")
+    err_zfp = np.linalg.norm(zfp.roundtrip(activations) - activations)
+    err_int8 = np.linalg.norm(int8.roundtrip(activations) - activations)
+    assert err_zfp < err_int8 / 2.0
+
+
+def test_zfp_rates():
+    x = np.random.default_rng(0).standard_normal((32, 64)).astype(np.float32)
+    errors = {}
+    for rate in (4, 8, 16):
+        codec = ZfpLikeCompressor(rate=rate)
+        errors[rate] = float(np.abs(codec.roundtrip(x) - x).max())
+    assert errors[16] < errors[8] < errors[4]
+    with pytest.raises(ValueError):
+        ZfpLikeCompressor(rate=5)
+
+
+def test_zfp_non_multiple_of_block_shapes():
+    codec = get_compressor("zfp")
+    for shape in [(1,), (63,), (65,), (7, 9), (3, 5, 11)]:
+        x = np.random.default_rng(1).standard_normal(shape).astype(np.float32)
+        out = codec.roundtrip(x)
+        assert out.shape == x.shape
+        assert np.abs(out - x).max() < np.abs(x).max() / 50 + 1e-6
+
+
+def test_zfp4_nibble_packing_roundtrip():
+    codec = get_compressor("zfp4")
+    x = np.random.default_rng(2).standard_normal(256).astype(np.float32)
+    out = codec.roundtrip(x)
+    assert out.shape == x.shape
+    # 4-bit mantissas: coarse but sign-correct for non-tiny values.
+    big = np.abs(x) > 0.5 * np.abs(x).max()
+    assert np.all(np.sign(out[big]) == np.sign(x[big]))
+
+
+def test_compressed_bytes_accounting():
+    codec = get_compressor("zfp")
+    assert codec.compressed_bytes(32e6) == pytest.approx(
+        32e6 / codec.ratio
+    )
+
+
+def test_cost_models_monotone():
+    gpu = rtx2080ti()
+    for name in available_compressors():
+        codec = get_compressor(name)
+        small = codec.compress_cost(gpu, 1e6)
+        large = codec.compress_cost(gpu, 1e9)
+        assert large >= small
+        assert codec.decompress_cost(gpu, 1e6) >= 0
+
+
+def test_noop_costs_zero():
+    gpu = rtx2080ti()
+    codec = get_compressor("none")
+    assert codec.compress_cost(gpu, 1e9) == 0.0
+    assert codec.decompress_cost(gpu, 1e9) == 0.0
+
+
+def test_compressed_tensor_nbytes():
+    ct = CompressedTensor(
+        codec="x",
+        shape=(4,),
+        dtype=np.dtype(np.float32),
+        payload={"a": np.zeros(4, dtype=np.int8), "b": np.zeros(2, np.int8)},
+    )
+    assert ct.nbytes == 6
+
+
+def test_roundtrip_rejects_non_finite():
+    """NaN/Inf would poison scale factors; refuse loudly."""
+    import numpy as np
+    import pytest as _pytest
+
+    bad_nan = np.array([1.0, np.nan, 2.0], dtype=np.float32)
+    bad_inf = np.array([1.0, np.inf], dtype=np.float32)
+    for name in ("int8", "zfp", "fp16"):
+        codec = get_compressor(name)
+        with _pytest.raises(ValueError):
+            codec.roundtrip(bad_nan)
+        with _pytest.raises(ValueError):
+            codec.roundtrip(bad_inf)
+
+
+def test_int8_channel_fixes_outlier_damage(activations):
+    """Per-row scales recover ZFP-class fidelity at INT8 width —
+    demonstrating the Table 6 failure is scale granularity."""
+    from repro.compression import codec_snr_db
+
+    int8 = get_compressor("int8")
+    int8c = get_compressor("int8c")
+    assert codec_snr_db(int8c, activations) > codec_snr_db(int8, activations) + 6.0
+
+
+def test_int8_channel_roundtrip_shapes(rng):
+    codec = get_compressor("int8c")
+    for shape in [(5,), (4, 7), (2, 3, 9)]:
+        x = rng.standard_normal(shape).astype(np.float32)
+        out = codec.roundtrip(x)
+        assert out.shape == x.shape
+        # Per-row error bound: each row's peak / 127.
+        rows = x.reshape(-1, x.shape[-1]) if x.ndim > 1 else x.reshape(1, -1)
+        out_rows = out.reshape(rows.shape)
+        bounds = np.abs(rows).max(axis=1) / 127.0 + 1e-7
+        assert np.all(np.abs(out_rows - rows).max(axis=1) <= bounds)
+
+
+def test_int8_channel_zero_rows(rng):
+    codec = get_compressor("int8c")
+    x = np.zeros((3, 8), dtype=np.float32)
+    x[1] = rng.standard_normal(8)
+    out = codec.roundtrip(x)
+    np.testing.assert_array_equal(out[0], 0.0)
+    np.testing.assert_array_equal(out[2], 0.0)

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, LinkModel, paper_testbed
+from repro.cluster.presets import rtx2080ti
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_spec() -> ClusterSpec:
+    """2 nodes x 2 GPUs — fast to simulate, still hierarchical."""
+    return ClusterSpec(
+        name="test-2x2",
+        num_nodes=2,
+        gpus_per_node=2,
+        gpu=rtx2080ti(),
+        intra_link=LinkModel(name="intra", latency_s=1e-6, bandwidth_bps=2e9),
+        intra_bulk_link=LinkModel(
+            name="intra-bulk", latency_s=5e-6, bandwidth_bps=6e9
+        ),
+        inter_link=LinkModel(name="inter", latency_s=3e-6, bandwidth_bps=8e9),
+    )
+
+
+@pytest.fixture
+def paper_spec() -> ClusterSpec:
+    """The calibrated 8x4 testbed (32 simulated GPUs)."""
+    return paper_testbed()

@@ -1,0 +1,85 @@
+"""Tests of dynamic routing imbalance (paper Section 2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import BALANCED, RoutingSkew, simulate_model_step
+from repro.models import ct_moe
+from repro.systems import fastermoe, schemoe, tutel
+
+
+def test_shares_are_a_distribution():
+    for s in (0.0, 0.7, 1.3):
+        shares = RoutingSkew(s).expert_shares(32)
+        assert shares.sum() == pytest.approx(1.0)
+        assert np.all(shares > 0)
+        # Monotone non-increasing by popularity rank.
+        assert np.all(np.diff(shares) <= 1e-15)
+
+
+def test_balanced_skew_is_neutral():
+    assert BALANCED.hot_expert_ratio(32) == pytest.approx(1.0)
+    assert BALANCED.load_factor(32, 1.2, True) == pytest.approx(1.0)
+    assert BALANCED.dropped_fraction(32, 1.0) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_hot_ratio_grows_with_skew():
+    ratios = [RoutingSkew(s).hot_expert_ratio(32) for s in (0.0, 0.5, 1.0, 1.5)]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 10.0
+
+
+def test_capacity_clips_load_factor():
+    skew = RoutingSkew(1.0)
+    capped = skew.load_factor(32, capacity_factor=1.2, enforce_capacity=True)
+    uncapped = skew.load_factor(32, capacity_factor=1.2, enforce_capacity=False)
+    assert capped == pytest.approx(1.2)
+    assert uncapped == pytest.approx(skew.hot_expert_ratio(32))
+    assert uncapped > capped
+
+
+def test_dropped_fraction_monotone_in_skew():
+    drops = [RoutingSkew(s).dropped_fraction(32, 1.0) for s in (0.0, 0.5, 1.0)]
+    assert drops == sorted(drops)
+    assert 0.0 <= drops[-1] < 1.0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        RoutingSkew(-0.1)
+    with pytest.raises(ValueError):
+        RoutingSkew(0.5).expert_shares(0)
+
+
+def test_capacity_systems_insensitive_to_skew(paper_spec):
+    cfg = ct_moe(12)
+    for policy in (tutel(), schemoe()):
+        flat = simulate_model_step(cfg, paper_spec, policy, skew=BALANCED)
+        skewed = simulate_model_step(
+            cfg, paper_spec, policy, skew=RoutingSkew(1.5)
+        )
+        # Capacity clips the hot expert at f = 1.0 -> no slowdown.
+        assert skewed.total_s == pytest.approx(flat.total_s, rel=1e-6)
+
+
+def test_capacity_free_system_degrades_with_skew(paper_spec):
+    cfg = ct_moe(12)
+    policy = fastermoe()
+    times = [
+        simulate_model_step(
+            cfg, paper_spec, policy, skew=RoutingSkew(s)
+        ).total_s
+        for s in (0.0, 0.5, 1.0, 1.5)
+    ]
+    assert times == sorted(times)
+    assert times[-1] > times[0] * 1.05
+
+
+def test_capacity_free_memory_grows_with_skew(paper_spec):
+    cfg = ct_moe(12)
+    policy = fastermoe()
+    m0 = simulate_model_step(cfg, paper_spec, policy, skew=BALANCED).memory_bytes
+    m1 = simulate_model_step(
+        cfg, paper_spec, policy, skew=RoutingSkew(1.5)
+    ).memory_bytes
+    assert m1 > m0

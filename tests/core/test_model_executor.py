@@ -1,0 +1,85 @@
+"""Tests of multi-layer execution and cross-layer chunk pipelining."""
+
+import pytest
+
+from repro.collectives import get_a2a
+from repro.compression import get_compressor
+from repro.core.executor import EventExecutor
+from repro.core.model_executor import ModelExecutor
+from repro.core import get_scheduler
+from repro.models import bert_large_moe, ct_moe
+
+
+def make(spec, a2a="pipe", codec="none", partitions=2):
+    return ModelExecutor(
+        spec, get_a2a(a2a), get_compressor(codec), partitions=partitions
+    )
+
+
+def test_mode_validation(paper_spec):
+    executor = make(paper_spec)
+    with pytest.raises(ValueError):
+        executor.run(ct_moe(12), mode="warp")
+    with pytest.raises(ValueError):
+        ModelExecutor(
+            paper_spec, get_a2a("pipe"), get_compressor("none"), partitions=0
+        )
+
+
+def test_makespan_scales_with_layers(paper_spec):
+    executor = make(paper_spec)
+    t4 = executor.run(ct_moe(4), mode="layer-barrier").makespan
+    t8 = executor.run(ct_moe(8), mode="layer-barrier").makespan
+    assert t8 > t4 * 1.8
+
+
+def test_chunked_never_slower_than_barrier(paper_spec):
+    executor = make(paper_spec, a2a="nccl")
+    for layers in (2, 6):
+        cfg = ct_moe(layers)
+        barrier = executor.run(cfg, mode="layer-barrier").makespan
+        chunked = executor.run(cfg, mode="chunked").makespan
+        assert chunked <= barrier + 1e-12
+
+
+def test_cross_layer_gain_when_comm_bound(paper_spec):
+    """Comm-bound model: next layer's attention hides the trailing
+    A2A tail of the previous layer.  (6-layer BERT variant: the gain
+    is per layer boundary, so depth beyond a few layers only adds
+    simulation time.)"""
+    executor = make(paper_spec, a2a="nccl", codec="none", partitions=4)
+    cfg = bert_large_moe().with_layers(6)
+    barrier = executor.run(cfg, mode="layer-barrier").makespan
+    chunked = executor.run(cfg, mode="chunked").makespan
+    assert barrier / chunked > 1.12
+
+
+def test_no_gain_when_comm_already_hidden(paper_spec):
+    """With ZFP-compressed payloads the comm tail is negligible and
+    both modes coincide."""
+    executor = make(paper_spec, a2a="pipe", codec="zfp")
+    cfg = ct_moe(6)
+    barrier = executor.run(cfg, mode="layer-barrier").makespan
+    chunked = executor.run(cfg, mode="chunked").makespan
+    assert chunked == pytest.approx(barrier, rel=1e-3)
+
+
+def test_single_layer_consistent_with_layer_executor(paper_spec):
+    """A 1-layer layer_only model has no attention, so the model
+    executor reduces to the per-layer executor's OptSche makespan."""
+    from repro.models import ablation_layer
+
+    cfg = ablation_layer()
+    model_exec = ModelExecutor(
+        paper_spec, get_a2a("pipe"), get_compressor("zfp"), partitions=2
+    )
+    layer_exec = EventExecutor(
+        paper_spec,
+        get_a2a("pipe"),
+        get_compressor("zfp"),
+        get_scheduler("optsche"),
+        partitions=2,
+    )
+    model_t = model_exec.run(cfg, mode="layer-barrier").makespan
+    layer_t = layer_exec.run(cfg).makespan
+    assert model_t == pytest.approx(layer_t, rel=1e-2)

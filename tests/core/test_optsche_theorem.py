@@ -1,0 +1,95 @@
+"""Empirical verification of Theorem 1 (OptSche optimality).
+
+The theorem claims Eq. 12's order minimizes the makespan among all
+orders satisfying constraints (4)-(9), given uniform partitioning
+(equal durations across chunks).  We verify by exhaustive enumeration
+of all 252 valid comp-order interleavings at r=2 (property-based over
+durations) and by sampling at r=3.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TaskDurations, get_scheduler
+from repro.core.scheduler import (
+    InvalidScheduleError,
+    _comm_order,
+    simulate_order,
+    valid_comp_orders,
+)
+
+duration_values = st.floats(
+    min_value=0.01, max_value=10.0, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    compress=duration_values,
+    a2a=duration_values,
+    decompress=duration_values,
+    expert=duration_values,
+)
+def test_optsche_is_optimal_r2(compress, a2a, decompress, expert):
+    durations = TaskDurations(compress, a2a, decompress, expert)
+    opt = get_scheduler("optsche").schedule(2, durations).makespan
+    comm = _comm_order(2)
+    for comp in valid_comp_orders(2):
+        try:
+            res = simulate_order(
+                comp, comm, durations, validate=False, partitions=2
+            )
+        except InvalidScheduleError:
+            continue
+        assert opt <= res.makespan + 1e-9, (
+            f"OptSche {opt} beaten by {comp} at {res.makespan}"
+        )
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    compress=duration_values,
+    a2a=duration_values,
+    decompress=duration_values,
+    expert=duration_values,
+)
+def test_optsche_matches_sampled_search_r3(compress, a2a, decompress, expert):
+    durations = TaskDurations(compress, a2a, decompress, expert)
+    opt = get_scheduler("optsche").schedule(3, durations).makespan
+    sampled = get_scheduler("brute-force").schedule(3, durations).makespan
+    assert opt <= sampled + 1e-9
+
+
+def test_optsche_never_worse_than_named_baselines():
+    """Across a grid of regimes (comm-bound, comp-bound, balanced)."""
+    regimes = [
+        TaskDurations(0.1, 5.0, 0.1, 0.5),  # comm-bound
+        TaskDurations(1.0, 0.2, 1.0, 4.0),  # comp-bound
+        TaskDurations(1.0, 2.0, 1.0, 2.0),  # balanced
+        TaskDurations(2.0, 2.0, 2.0, 0.01),  # codec-heavy
+    ]
+    for durations in regimes:
+        for r in (1, 2, 3, 4, 6):
+            opt = get_scheduler("optsche").schedule(r, durations).makespan
+            for name in ("sequential", "chunk-pipeline"):
+                other = get_scheduler(name).schedule(r, durations).makespan
+                assert opt <= other + 1e-9
+
+
+def test_optsche_hides_comm_fully_when_comp_dominates():
+    """With comp >> comm and r large, the A2As vanish into compute."""
+    durations = TaskDurations(1.0, 0.05, 1.0, 3.0)
+    res = get_scheduler("optsche").schedule(4, durations)
+    comp_total = durations.comp_total(4)
+    # All but the trailing A2A chain is hidden.
+    assert res.makespan <= comp_total + 2 * 0.05 + 1e-9
+
+
+def test_optsche_bounded_by_comm_when_comm_dominates():
+    """With comm >> comp, makespan -> comm total + small comp tails."""
+    durations = TaskDurations(0.05, 4.0, 0.05, 0.1)
+    res = get_scheduler("optsche").schedule(4, durations)
+    comm_total = durations.comm_total(4)
+    tails = 2 * 0.05 + 0.05 + 0.1  # C1^1 head + D2^r tail upper bound
+    assert res.makespan <= comm_total + tails + 1e-9

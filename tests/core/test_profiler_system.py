@@ -1,0 +1,215 @@
+"""Tests of the profiler, ScheMoELayer planning, and step simulation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.collectives import get_a2a
+from repro.compression import get_compressor
+from repro.core import (
+    LinearPerfModel,
+    Profiler,
+    ScheMoELayer,
+    SystemPolicy,
+    dense_param_count,
+    estimate_memory_bytes,
+    local_param_count,
+    simulate_model_step,
+)
+from repro.models import bert_large_moe, ct_moe
+
+
+@pytest.fixture
+def profiler(paper_spec):
+    return Profiler(
+        paper_spec, a2a=get_a2a("pipe"), compressor=get_compressor("zfp")
+    )
+
+
+def test_linear_perf_model_fit_and_predict():
+    model = LinearPerfModel.fit([0.0, 1.0, 2.0], [1.0, 3.0, 5.0])
+    assert model.alpha == pytest.approx(1.0)
+    assert model.beta == pytest.approx(2.0)
+    assert model.predict(10.0) == pytest.approx(21.0)
+    assert model.predict(-1e6) == 0.0  # clamped
+    with pytest.raises(ValueError):
+        LinearPerfModel.fit([1.0], [1.0])
+
+
+def test_profiler_caches_a2a_measurements(profiler):
+    t1 = profiler.measure_a2a_seconds(1e6)
+    assert profiler.measure_a2a_seconds(1e6) == t1
+    assert len(profiler._a2a_cache) == 1
+
+
+def test_profile_layer_durations_positive(profiler):
+    durations = profiler.profile_layer(ct_moe(12), partitions=2)
+    assert durations.compress > 0
+    assert durations.a2a > 0
+    assert durations.decompress > 0
+    assert durations.expert > 0
+
+
+def test_profile_layer_chunking_shrinks_tasks(profiler):
+    d1 = profiler.profile_layer(ct_moe(12), partitions=1)
+    d2 = profiler.profile_layer(ct_moe(12), partitions=2)
+    assert d2.a2a < d1.a2a
+    assert d2.expert < d1.expert
+    with pytest.raises(ValueError):
+        profiler.profile_layer(ct_moe(12), partitions=0)
+
+
+def test_expert_tokens_match_capacity_math(profiler):
+    cfg = ct_moe(12)
+    tokens = profiler.expert_tokens_per_gpu(cfg)
+    # E * C ~ f * k * B * L.
+    assert tokens == cfg.num_experts * cfg.capacity
+
+
+def test_fit_a2a_model_monotone(profiler):
+    model = profiler.fit_a2a_model()
+    assert model.beta > 0
+    assert model.predict(2e8) > model.predict(1e6)
+
+
+def test_compressed_wire_size_drives_a2a(paper_spec):
+    zfp = Profiler(paper_spec, get_a2a("nccl"), get_compressor("zfp"))
+    raw = Profiler(paper_spec, get_a2a("nccl"), get_compressor("none"))
+    cfg = ct_moe(12)
+    assert zfp.profile_layer(cfg, 1).a2a < raw.profile_layer(cfg, 1).a2a
+
+
+def test_schemoe_layer_plan(paper_spec, rng):
+    layer = ScheMoELayer(
+        model_dim=64,
+        hidden_dim=128,
+        num_experts=32,
+        rng=rng,
+        compress_name="zfp",
+        comm_name="pipe",
+        scheduler_name="optsche",
+        partitions=2,
+    )
+    plan = layer.plan(paper_spec, batch_per_gpu=4, seq_len=128)
+    assert plan.forward.makespan > 0
+    assert plan.backward.makespan > plan.forward.makespan  # 2x expert
+    assert plan.step_seconds == pytest.approx(
+        plan.forward.makespan + plan.backward.makespan
+    )
+
+
+def test_schemoe_layer_still_computes(rng):
+    from repro.nn import Tensor
+
+    layer = ScheMoELayer(16, 32, 4, rng, partitions=2)
+    out = layer(Tensor(rng.standard_normal((2, 6, 16)).astype(np.float32)))
+    assert out.shape == (2, 6, 16)
+
+
+def test_schemoe_layer_validates_names(rng):
+    with pytest.raises(KeyError):
+        ScheMoELayer(16, 32, 4, rng, comm_name="wormhole")
+    with pytest.raises(KeyError):
+        ScheMoELayer(16, 32, 4, rng, scheduler_name="magic")
+    with pytest.raises(ValueError):
+        ScheMoELayer(16, 32, 4, rng, partitions=0)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        SystemPolicy(name="x", partitions=0)
+    with pytest.raises(ValueError):
+        SystemPolicy(name="x", comm_inefficiency=0.5)
+
+
+def test_simulate_model_step_breakdown(paper_spec):
+    policy = SystemPolicy(
+        name="test", compressor="zfp", a2a="pipe",
+        scheduler="optsche", partitions=2,
+    )
+    result = simulate_model_step(ct_moe(12), paper_spec, policy)
+    assert not result.oom
+    assert result.total_s > 0
+    assert result.moe_total_s > 0
+    assert result.a2a_total_s > 0
+    assert 0 < result.a2a_ratio < 1
+    parts = (
+        result.moe_total_s
+        + result.attention_s
+        + result.gate_s
+        + result.head_s
+        + result.allreduce_s
+        + result.optimizer_s
+    )
+    assert result.total_s == pytest.approx(parts)
+
+
+def test_step_time_scales_with_depth(paper_spec):
+    policy = SystemPolicy(name="seq", scheduler="sequential")
+    t12 = simulate_model_step(ct_moe(12), paper_spec, policy).total_s
+    t24 = simulate_model_step(ct_moe(24), paper_spec, policy).total_s
+    assert t24 > t12 * 1.5
+
+
+def test_comm_inefficiency_slows_step(paper_spec):
+    base = SystemPolicy(name="a")
+    slow = SystemPolicy(name="b", comm_inefficiency=1.5)
+    cfg = ct_moe(12)
+    assert (
+        simulate_model_step(cfg, paper_spec, slow).total_s
+        > simulate_model_step(cfg, paper_spec, base).total_s
+    )
+
+
+def test_memory_accounting_components(paper_spec):
+    cfg = bert_large_moe()
+    base = SystemPolicy(name="base")
+    shadow = SystemPolicy(name="shadow", shadow_expert_layers=6)
+    m_base = estimate_memory_bytes(cfg, paper_spec, base)
+    m_shadow = estimate_memory_bytes(cfg, paper_spec, shadow)
+    expected_extra = 6 * cfg.num_experts * cfg.expert_params * 4.0
+    assert m_shadow - m_base == pytest.approx(expected_extra)
+    assert local_param_count(cfg, paper_spec) > dense_param_count(cfg)
+
+
+def test_oom_reported_not_raised(paper_spec):
+    cfg = bert_large_moe()
+    policy = SystemPolicy(name="fat", shadow_expert_layers=50)
+    result = simulate_model_step(cfg, paper_spec, policy)
+    assert result.oom
+    assert result.total_s == float("inf")
+    assert result.a2a_ratio == 0.0
+
+
+def test_schemoe_layer_auto_partitions(paper_spec, rng):
+    """partitions='auto' never does worse than any fixed candidate."""
+    def build(partitions):
+        return ScheMoELayer(
+            model_dim=512, hidden_dim=2048, num_experts=32,
+            rng=np.random.default_rng(0), partitions=partitions,
+        )
+
+    auto_plan = build("auto").plan(paper_spec, batch_per_gpu=8, seq_len=512)
+    for r in ScheMoELayer.AUTO_PARTITION_CANDIDATES:
+        fixed = build(r).plan(paper_spec, batch_per_gpu=8, seq_len=512)
+        assert auto_plan.step_seconds <= fixed.step_seconds + 1e-12
+
+
+def test_schemoe_layer_partition_validation(rng):
+    with pytest.raises(ValueError):
+        ScheMoELayer(16, 32, 4, rng, partitions="many")
+    with pytest.raises(ValueError):
+        ScheMoELayer(16, 32, 4, rng, partitions=-1)
+
+
+def test_tokens_per_second(paper_spec):
+    policy = SystemPolicy(name="t", scheduler="sequential")
+    cfg = ct_moe(12)
+    result = simulate_model_step(cfg, paper_spec, policy)
+    tps = result.tokens_per_second(cfg.tokens_per_gpu, paper_spec.world_size)
+    assert tps == pytest.approx(
+        cfg.tokens_per_gpu * 32 / result.total_s
+    )
+    oom_policy = SystemPolicy(name="fat", shadow_expert_layers=500)
+    oom = simulate_model_step(bert_large_moe(), paper_spec, oom_policy)
+    assert oom.tokens_per_second(1, 32) == 0.0

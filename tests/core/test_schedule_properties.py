@@ -1,0 +1,92 @@
+"""Property tests of simulate_order over arbitrary valid schedules."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Task, TaskDurations, TaskKind
+from repro.core.scheduler import (
+    InvalidScheduleError,
+    _comm_order,
+    sample_comp_orders,
+    simulate_order,
+)
+
+durations_strategy = st.builds(
+    TaskDurations,
+    compress=st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+    a2a=st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+    decompress=st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+    expert=st.floats(min_value=0.01, max_value=5.0, allow_nan=False),
+)
+
+
+def feasible_results(durations, partitions, count, seed):
+    comm = _comm_order(partitions)
+    for comp in sample_comp_orders(partitions, count, seed=seed):
+        try:
+            yield simulate_order(
+                comp, comm, durations, validate=False, partitions=partitions
+            )
+        except InvalidScheduleError:
+            continue
+
+
+@settings(max_examples=25, deadline=None)
+@given(durations=durations_strategy, seed=st.integers(0, 1000))
+def test_makespan_lower_bounds_hold_for_any_order(durations, seed):
+    """Any feasible schedule's makespan >= max(comm total, comp total)
+    and <= the fully sequential time (Eq. 10)."""
+    r = 3
+    found = False
+    for result in feasible_results(durations, r, 30, seed):
+        found = True
+        assert result.makespan >= durations.comm_total(r) - 1e-9
+        assert result.makespan >= durations.comp_total(r) - 1e-9
+        assert result.makespan <= durations.total_sequential(r) + 1e-9
+    assert found
+
+
+@settings(max_examples=15, deadline=None)
+@given(durations=durations_strategy, seed=st.integers(0, 1000))
+def test_streams_never_double_book(durations, seed):
+    """In every feasible schedule, same-class tasks never overlap."""
+    for result in feasible_results(durations, 2, 15, seed):
+        for is_comm in (False, True):
+            spans = sorted(
+                span
+                for task, span in result.timeline.items()
+                if task.is_comm == is_comm
+            )
+            for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+                assert s2 >= e1 - 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(durations=durations_strategy, seed=st.integers(0, 1000))
+def test_chain_constraints_hold_for_any_order(durations, seed):
+    """Eqs. 4-9: every task starts after its chain predecessor ends."""
+    for result in feasible_results(durations, 2, 15, seed):
+        for task, (start, _end) in result.timeline.items():
+            pred = task.predecessor()
+            if pred is not None:
+                assert start >= result.timeline[pred][1] - 1e-12
+
+
+@settings(max_examples=15, deadline=None)
+@given(durations=durations_strategy)
+def test_every_task_runs_exactly_once(durations):
+    result = simulate_order(
+        *_default_orders(3), durations, partitions=3
+    )
+    assert len(result.timeline) == 21
+    for task, (start, end) in result.timeline.items():
+        assert end - start == pytest.approx(durations.of(task.kind))
+
+
+def _default_orders(partitions):
+    from repro.core.scheduler import OptScheScheduler
+
+    return OptScheScheduler().order(
+        partitions, TaskDurations(1, 1, 1, 1)
+    )

@@ -1,0 +1,150 @@
+"""Tests of schedule simulation and the built-in scheduling policies."""
+
+import pytest
+
+from repro.core import (
+    InvalidScheduleError,
+    Task,
+    TaskDurations,
+    TaskKind,
+    available_schedulers,
+    get_scheduler,
+    simulate_order,
+)
+from repro.core.scheduler import _comm_order, valid_comp_orders
+
+
+@pytest.fixture
+def durations():
+    return TaskDurations(compress=0.5, a2a=2.0, decompress=0.4, expert=1.5)
+
+
+def comp_chain(chunk):
+    return [
+        Task(k, chunk)
+        for k in (TaskKind.C1, TaskKind.D1, TaskKind.E, TaskKind.C2, TaskKind.D2)
+    ]
+
+
+def test_registry():
+    names = available_schedulers()
+    for expected in ("sequential", "chunk-pipeline", "optsche", "brute-force"):
+        assert expected in names
+    with pytest.raises(KeyError):
+        get_scheduler("lol")
+
+
+def test_sequential_r1_equals_eq10(durations):
+    result = get_scheduler("sequential").schedule(1, durations)
+    assert result.makespan == pytest.approx(durations.total_sequential(1))
+    assert result.hidden_time == pytest.approx(0.0)
+
+
+def test_simulate_order_respects_chain(durations):
+    result = get_scheduler("optsche").schedule(2, durations)
+    for chunk in range(2):
+        prev_end = None
+        for kind in (
+            TaskKind.C1,
+            TaskKind.A1,
+            TaskKind.D1,
+            TaskKind.E,
+            TaskKind.C2,
+            TaskKind.A2,
+            TaskKind.D2,
+        ):
+            start, end = result.timeline[Task(kind, chunk)]
+            if prev_end is not None:
+                assert start >= prev_end - 1e-12
+            prev_end = end
+
+
+def test_simulate_order_respects_stream_exclusivity(durations):
+    """No two comp (or two comm) tasks overlap in time."""
+    result = get_scheduler("optsche").schedule(3, durations)
+
+    def assert_disjoint(tasks):
+        spans = sorted(result.timeline[t] for t in tasks)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert s2 >= e1 - 1e-12
+
+    all_tasks = list(result.timeline)
+    assert_disjoint([t for t in all_tasks if t.is_comm])
+    assert_disjoint([t for t in all_tasks if not t.is_comm])
+
+
+def test_optsche_order_matches_eq12(durations):
+    comp, comm = get_scheduler("optsche").order(3, durations)
+    expected = (
+        [Task(TaskKind.C1, i) for i in range(3)]
+        + sum(
+            (
+                [Task(TaskKind.D1, i), Task(TaskKind.E, i), Task(TaskKind.C2, i)]
+                for i in range(3)
+            ),
+            [],
+        )
+        + [Task(TaskKind.D2, i) for i in range(3)]
+    )
+    assert comp == expected
+    assert comm == _comm_order(3)
+
+
+def test_policy_ordering_seq_ge_pipeline_ge_optsche(durations):
+    for r in (2, 3, 4):
+        seq = get_scheduler("sequential").schedule(r, durations).makespan
+        pipe = get_scheduler("chunk-pipeline").schedule(r, durations).makespan
+        opt = get_scheduler("optsche").schedule(r, durations).makespan
+        assert seq >= pipe - 1e-12
+        assert pipe >= opt - 1e-12
+        assert opt < seq  # overlap must help with these durations
+
+
+def test_makespan_lower_bounds(durations):
+    """Makespan >= max(total comm, total comp) for any schedule."""
+    for name in ("sequential", "chunk-pipeline", "optsche"):
+        for r in (1, 2, 4):
+            res = get_scheduler(name).schedule(r, durations)
+            assert res.makespan >= durations.comm_total(r) - 1e-12
+            assert res.makespan >= durations.comp_total(r) - 1e-12
+
+
+def test_hidden_time_is_makespan_complement(durations):
+    res = get_scheduler("optsche").schedule(2, durations)
+    total = durations.total_sequential(2)
+    assert res.hidden_time == pytest.approx(total - res.makespan)
+
+
+def test_invalid_orders_rejected(durations):
+    comp = comp_chain(0)
+    comm = [Task(TaskKind.A1, 0), Task(TaskKind.A2, 0)]
+    # Missing a task.
+    with pytest.raises(InvalidScheduleError):
+        simulate_order(comp[:-1], comm, durations, partitions=1)
+    # Duplicate task.
+    with pytest.raises(InvalidScheduleError):
+        simulate_order(comp[:-1] + [comp[0]], comm, durations, partitions=1)
+    # Comm task in the comp order.
+    with pytest.raises(InvalidScheduleError):
+        simulate_order(comp[:-1] + [comm[0]], comm, durations, partitions=1)
+
+
+def test_deadlocking_order_detected(durations):
+    """D2^1 before C1^2 with default comm order deadlocks (circular
+    FIFO wait) and must be reported, not hang."""
+    comp = comp_chain(0) + comp_chain(1)  # chunk 0 fully before chunk 1
+    comm = _comm_order(2)
+    with pytest.raises(InvalidScheduleError):
+        simulate_order(comp, comm, durations, partitions=2)
+
+
+def test_valid_comp_orders_counts():
+    # Interleavings of r chains of 5: multinomial C(5r; 5,...).
+    assert sum(1 for _ in valid_comp_orders(1)) == 1
+    assert sum(1 for _ in valid_comp_orders(2)) == 252
+
+
+def test_render_produces_rows(durations):
+    res = get_scheduler("optsche").schedule(2, durations)
+    text = res.render(width=40)
+    assert "C1^1" in text and "A2^2" in text and "ms" in text

@@ -1,0 +1,73 @@
+"""Tests of the chrome-trace exporter."""
+
+import json
+
+import pytest
+
+from repro.core import TaskDurations, get_scheduler
+from repro.core.trace import (
+    COMM_TID,
+    COMP_TID,
+    export_layer_sequence_trace,
+    export_schedule_trace,
+    schedule_to_trace_events,
+)
+
+
+@pytest.fixture
+def schedule():
+    durations = TaskDurations(0.5, 2.0, 0.4, 1.5)
+    return get_scheduler("optsche").schedule(2, durations)
+
+
+def test_events_cover_all_tasks(schedule):
+    events = schedule_to_trace_events(schedule)
+    assert len(events) == 14  # 7 tasks x 2 chunks
+    names = {e["name"] for e in events}
+    assert "C1^1" in names and "A2^2" in names
+
+
+def test_events_use_correct_threads(schedule):
+    for event in schedule_to_trace_events(schedule):
+        if event["cat"] == "comm":
+            assert event["tid"] == COMM_TID
+        else:
+            assert event["tid"] == COMP_TID
+
+
+def test_durations_match_timeline(schedule):
+    events = {e["name"]: e for e in schedule_to_trace_events(schedule)}
+    for task, (start, end) in schedule.timeline.items():
+        event = events[str(task)]
+        assert event["ts"] == pytest.approx(start * 1e6)
+        assert event["dur"] == pytest.approx((end - start) * 1e6)
+
+
+def test_export_is_valid_json(schedule, tmp_path):
+    path = tmp_path / "trace.json"
+    payload = export_schedule_trace(schedule, path=str(path))
+    parsed = json.loads(payload)
+    assert "traceEvents" in parsed
+    on_disk = json.loads(path.read_text())
+    assert on_disk == parsed
+    # Metadata rows name the streams.
+    meta = [e for e in parsed["traceEvents"] if e["ph"] == "M"]
+    assert any(e["args"].get("name") == "compute stream" for e in meta)
+
+
+def test_layer_sequence_offsets(schedule):
+    payload = export_layer_sequence_trace(
+        [schedule, schedule], labels=["fwd", "bwd"]
+    )
+    events = json.loads(payload)["traceEvents"]
+    fwd = [e for e in events if e["name"].startswith("fwd:")]
+    bwd = [e for e in events if e["name"].startswith("bwd:")]
+    assert len(fwd) == len(bwd) == 14
+    fwd_end = max(e["ts"] + e["dur"] for e in fwd)
+    bwd_start = min(e["ts"] for e in bwd)
+    assert bwd_start == pytest.approx(fwd_end, rel=1e-6)
+
+
+def test_layer_sequence_label_validation(schedule):
+    with pytest.raises(ValueError):
+        export_layer_sequence_trace([schedule], labels=["a", "b"])

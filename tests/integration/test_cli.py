@@ -1,0 +1,95 @@
+"""Smoke tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table7" in out and "ScheMoE" in out
+
+
+def test_table1(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "ratio" in out
+    assert out.count("%") >= 4
+
+
+def test_table8(capsys):
+    assert main(["table8"]) == 0
+    out = capsys.readouterr().out
+    assert "OOM" in out  # FasterMoE
+    assert "ScheMoE" in out
+
+
+def test_a2a_measurement(capsys):
+    assert main(["a2a", "--algo", "pipe", "--size", "1e6"]) == 0
+    out = capsys.readouterr().out
+    assert "busbw" in out
+
+
+def test_a2a_oom_exit_code(capsys):
+    assert main(["a2a", "--algo", "1dh", "--size", "2e9"]) == 1
+    assert "OOM" in capsys.readouterr().out
+
+
+def test_step_breakdown(capsys):
+    assert main(
+        ["step", "--model", "ct_moe", "--layers", "12", "--policy", "ScheMoE"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "ms/step" in out and "allreduce" in out
+
+
+def test_step_oom(capsys):
+    assert main(
+        ["step", "--model", "bert_large_moe", "--policy", "Faster-MoE"]
+    ) == 1
+    assert "OOM" in capsys.readouterr().out
+
+
+def test_trace_export(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    assert main(
+        ["trace", "--out", str(out_path), "--model-dim", "64",
+         "--hidden-dim", "128", "--batch", "2", "--seq", "64"]
+    ) == 0
+    payload = json.loads(out_path.read_text())
+    assert payload["traceEvents"]
+
+
+def test_alternate_cluster(capsys):
+    assert main(["--cluster", "ethernet_cluster", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "%" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["unknown-command"])
+
+
+def test_table7(capsys):
+    assert main(["table7"]) == 0
+    out = capsys.readouterr().out
+    assert "Tutel" in out and "ScheMoE" in out
+    assert out.count("ms") >= 12  # 4 depths x 3 systems
+
+
+def test_table10(capsys):
+    assert main(["table10"]) == 0
+    out = capsys.readouterr().out
+    for name in ("Naive", "ScheMoE-Z", "ScheMoE-ZP", "ScheMoE"):
+        assert name in out
+
+
+def test_fig9(capsys):
+    assert main(["fig9"]) == 0
+    out = capsys.readouterr().out
+    assert "nccl" in out and "pipe" in out
+    assert "OOM" in out  # 1dh at 2 GB

@@ -1,0 +1,99 @@
+"""Tests of expert-choice routing (the Section 8 composability claim)."""
+
+import numpy as np
+import pytest
+
+from repro.moe import MoELayer
+from repro.moe.gating_ec import ExpertChoiceGate
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def gate(rng):
+    return ExpertChoiceGate(
+        model_dim=16, num_experts=4, rng=rng, capacity_factor=1.0, top_k=2
+    )
+
+
+def tokens(rng, n=24, dim=16):
+    return Tensor(rng.standard_normal((n, dim)).astype(np.float32))
+
+
+def test_perfectly_balanced_by_construction(gate, rng):
+    out = gate(tokens(rng))
+    # Every expert is exactly at capacity: the defining property.
+    assert np.all(out.expert_load == out.capacity)
+    per_expert = out.dispatch_mask.sum(axis=(0, 2))
+    np.testing.assert_array_equal(per_expert, out.capacity)
+
+
+def test_capacity_formula(gate):
+    assert gate.capacity(24) == int(np.ceil(1.0 * 2 * 24 / 4))
+    # Capacity never exceeds the token count.
+    assert gate.capacity(2) <= 2
+
+
+def test_slots_uniquely_assigned(gate, rng):
+    out = gate(tokens(rng))
+    per_slot = out.dispatch_mask.sum(axis=0)
+    np.testing.assert_array_equal(per_slot, 1.0)  # every slot filled
+
+
+def test_tokens_can_be_unchosen(rng):
+    # With low capacity, some tokens are selected by no expert.
+    gate = ExpertChoiceGate(16, 2, rng, capacity_factor=0.25, top_k=1)
+    out = gate(tokens(rng, n=32))
+    assert out.dropped_tokens > 0
+    chosen_per_token = out.dispatch_mask.sum(axis=(1, 2))
+    assert (chosen_per_token == 0).sum() == out.dropped_tokens
+
+
+def test_combine_weights_follow_affinity(gate, rng):
+    t = tokens(rng)
+    out = gate(t)
+    w = out.combine_weights.data
+    assert np.all(w >= 0)
+    assert np.all(w[out.dispatch_mask == 0] == 0)
+    assert w.max() <= 1.0 + 1e-6
+
+
+def test_differentiable_through_affinity(gate, rng):
+    x = Tensor(
+        rng.standard_normal((12, 16)).astype(np.float32), requires_grad=True
+    )
+    out = gate(x)
+    (out.combine_weights.sum() + out.aux_loss).backward()
+    assert gate.wg.weight.grad is not None
+    assert x.grad is not None
+
+
+def test_validation(rng):
+    with pytest.raises(ValueError):
+        ExpertChoiceGate(16, 0, rng)
+    with pytest.raises(ValueError):
+        ExpertChoiceGate(16, 4, rng, capacity_factor=0)
+    gate = ExpertChoiceGate(16, 4, rng)
+    with pytest.raises(ValueError):
+        gate(Tensor(np.zeros((2, 3, 16))))
+
+
+def test_moe_layer_with_expert_choice_end_to_end(rng):
+    layer = MoELayer(
+        16, 24, 4, rng, capacity_factor=1.0, gate_type="expert-choice"
+    )
+    x = Tensor(
+        rng.standard_normal((2, 10, 16)).astype(np.float32),
+        requires_grad=True,
+    )
+    out = layer(x)
+    assert out.shape == (2, 10, 16)
+    ((out**2).mean() + 0.0 * layer.last_aux_loss).backward()
+    assert x.grad is not None
+    # Balanced load, unlike topk gating under the same inputs.
+    go = layer.last_gate_output
+    assert np.all(go.expert_load == go.capacity)
+
+
+def test_unknown_gate_type_rejected(rng):
+    with pytest.raises(ValueError):
+        MoELayer(16, 24, 4, rng, gate_type="router-9000")

@@ -1,0 +1,80 @@
+"""Property-based tests of gating invariants (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.moe import TopKGate
+from repro.moe.gating_ec import ExpertChoiceGate
+from repro.nn import Tensor
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_tokens=st.integers(min_value=1, max_value=48),
+    num_experts=st.integers(min_value=1, max_value=8),
+    data=st.data(),
+)
+def test_topk_gate_invariants(num_tokens, num_experts, data):
+    top_k = data.draw(st.integers(min_value=1, max_value=num_experts))
+    capacity_factor = data.draw(
+        st.floats(min_value=0.25, max_value=4.0, allow_nan=False)
+    )
+    rng = np.random.default_rng(0)
+    gate = TopKGate(
+        8, num_experts, rng, top_k=top_k, capacity_factor=capacity_factor
+    )
+    tokens = Tensor(
+        rng.standard_normal((num_tokens, 8)).astype(np.float32)
+    )
+    out = gate(tokens)
+
+    # Shapes are (T, E, C) with C = ceil(f*k*T/E), >= 1.
+    cap = out.capacity
+    assert cap >= 1
+    assert out.dispatch_mask.shape == (num_tokens, num_experts, cap)
+
+    # Per-expert intake never exceeds capacity; slots never shared.
+    assert np.all(out.dispatch_mask.sum(axis=(0, 2)) <= cap)
+    assert np.all(out.dispatch_mask.sum(axis=0) <= 1)
+
+    # Per-token assignments never exceed k, and routed + dropped = k*T
+    # assignment opportunities.
+    per_token = out.dispatch_mask.sum(axis=(1, 2))
+    assert np.all(per_token <= top_k)
+    assert int(out.dispatch_mask.sum()) + out.dropped_tokens == (
+        top_k * num_tokens
+    )
+
+    # Combine weights live on dispatched slots only and are a
+    # sub-distribution per token.
+    w = out.combine_weights.data
+    assert np.all(w >= -1e-7)
+    assert np.all(w[out.dispatch_mask == 0] == 0)
+    assert np.all(w.sum(axis=(1, 2)) <= 1.0 + 1e-5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    num_tokens=st.integers(min_value=2, max_value=48),
+    num_experts=st.integers(min_value=1, max_value=8),
+)
+def test_expert_choice_always_balanced(num_tokens, num_experts):
+    rng = np.random.default_rng(1)
+    gate = ExpertChoiceGate(8, num_experts, rng, capacity_factor=1.0)
+    tokens = Tensor(
+        rng.standard_normal((num_tokens, 8)).astype(np.float32)
+    )
+    out = gate(tokens)
+    assert np.all(out.expert_load == out.capacity)
+    assert np.all(out.dispatch_mask.sum(axis=0) == 1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(num_tokens=st.integers(min_value=1, max_value=32))
+def test_generous_capacity_drops_nothing(num_tokens):
+    """capacity_factor >= E/k guarantees zero drops."""
+    rng = np.random.default_rng(2)
+    gate = TopKGate(8, 4, rng, top_k=2, capacity_factor=2.0)
+    out = gate(Tensor(rng.standard_normal((num_tokens, 8)).astype(np.float32)))
+    assert out.dropped_tokens == 0

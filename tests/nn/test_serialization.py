@@ -1,0 +1,81 @@
+"""Tests of model checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Linear,
+    Sequential,
+    Tensor,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def make_model(seed):
+    rng = np.random.default_rng(seed)
+    return Sequential(Linear(4, 8, rng), Linear(8, 2, rng))
+
+
+def test_roundtrip_restores_outputs(tmp_path, rng):
+    model = make_model(0)
+    path = tmp_path / "model.npz"
+    save_checkpoint(model, path, metadata={"step": 42, "task": "demo"})
+
+    other = make_model(99)
+    x = Tensor(rng.standard_normal((3, 4)).astype(np.float32))
+    assert not np.allclose(other(x).data, model(x).data)
+
+    meta = load_checkpoint(other, path)
+    assert meta == {"step": 42, "task": "demo"}
+    np.testing.assert_array_equal(other(x).data, model(x).data)
+
+
+def test_metadata_optional(tmp_path):
+    model = make_model(1)
+    path = tmp_path / "m.npz"
+    save_checkpoint(model, path)
+    assert load_checkpoint(make_model(2), path) == {}
+
+
+def test_missing_file_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        load_checkpoint(make_model(0), tmp_path / "absent.npz")
+
+
+def test_architecture_mismatch_raises(tmp_path):
+    model = make_model(0)
+    path = tmp_path / "m.npz"
+    save_checkpoint(model, path)
+    rng = np.random.default_rng(0)
+    different = Sequential(Linear(4, 8, rng))
+    with pytest.raises(KeyError):
+        load_checkpoint(different, path)
+
+
+def test_creates_parent_directories(tmp_path):
+    model = make_model(0)
+    path = tmp_path / "deep" / "nested" / "m.npz"
+    save_checkpoint(model, path)
+    assert path.exists()
+
+
+def test_moe_model_checkpoint(tmp_path, rng):
+    from repro.models import TransformerLM
+
+    model = TransformerLM(
+        vocab_size=20, model_dim=16, hidden_dim=24, num_layers=1,
+        num_heads=2, moe=True, num_experts=4, max_seq_len=16, seed=0,
+    )
+    path = tmp_path / "lm.npz"
+    save_checkpoint(model, path, metadata={"ppl": 2.5})
+    clone = TransformerLM(
+        vocab_size=20, model_dim=16, hidden_dim=24, num_layers=1,
+        num_heads=2, moe=True, num_experts=4, max_seq_len=16, seed=7,
+    )
+    meta = load_checkpoint(clone, path)
+    assert meta["ppl"] == 2.5
+    tokens = np.random.default_rng(0).integers(0, 20, (2, 8))
+    np.testing.assert_array_equal(
+        clone(tokens).data, model(tokens).data
+    )

@@ -1,0 +1,121 @@
+"""Tests of the system policies and the comparison runner — the
+paper's headline claims as assertions."""
+
+import pytest
+
+from repro.models import ablation_layer, bert_large_moe, ct_moe
+from repro.systems import (
+    ALL_POLICIES,
+    SpeedupStats,
+    SystemRunner,
+    ablation_suite,
+    comparison_suite,
+    fastermoe,
+    naive,
+    schemoe,
+    schemoe_z,
+    schemoe_zp,
+    tutel,
+)
+
+
+@pytest.fixture(scope="module")
+def runner():
+    from repro.cluster import paper_testbed
+
+    return SystemRunner(paper_testbed())
+
+
+def test_policy_catalog():
+    assert set(ALL_POLICIES) == {
+        "Naive", "Tutel", "Faster-MoE", "ScheMoE", "ScheMoE-NC",
+        "ScheMoE-Z", "ScheMoE-ZP",
+    }
+    assert [p.name for p in ablation_suite()] == [
+        "Naive", "ScheMoE-Z", "ScheMoE-ZP", "ScheMoE",
+    ]
+    assert [p.name for p in comparison_suite()] == [
+        "Tutel", "Faster-MoE", "ScheMoE",
+    ]
+
+
+def test_ablation_monotone_improvement(runner):
+    """Paper Table 10: each added component helps, in order."""
+    rows = runner.compare(ablation_layer(), ablation_suite())
+    times = [rows[n].total_s for n in ("Naive", "ScheMoE-Z", "ScheMoE-ZP", "ScheMoE")]
+    assert all(not rows[n].oom for n in rows)
+    assert times[0] > times[1] > times[2] > times[3]
+
+
+def test_ablation_magnitudes_near_paper(runner):
+    """Paper Table 10: Z ~1.9x, ZP ~2.2x, full ~2.4x over Naive."""
+    rows = runner.compare(ablation_layer(), ablation_suite())
+    base = rows["Naive"].total_s
+    assert 1.4 < base / rows["ScheMoE-Z"].total_s < 2.2
+    assert 1.6 < base / rows["ScheMoE-ZP"].total_s < 2.5
+    assert 2.0 < base / rows["ScheMoE"].total_s < 3.0
+
+
+def test_ct_moe_schemoe_beats_baselines(runner):
+    """Paper Table 7: ScheMoE 9-17% over Tutel, 11-30% over FasterMoE."""
+    for x in (12, 24):
+        rows = runner.compare(ct_moe(x), comparison_suite())
+        t_over_s = rows["Tutel"].total_s / rows["ScheMoE"].total_s
+        f_over_s = rows["Faster-MoE"].total_s / rows["ScheMoE"].total_s
+        assert 1.05 < t_over_s < 1.30
+        assert 1.10 < f_over_s < 1.40
+        assert f_over_s > t_over_s  # FasterMoE trails Tutel
+
+
+def test_ct_moe_absolute_times_near_paper(runner):
+    """Paper Table 7 Tutel column: 497/623/769/864 ms (+/- 20%)."""
+    expected = {12: 0.497, 16: 0.623, 20: 0.769, 24: 0.864}
+    for x, target in expected.items():
+        total = runner.step(ct_moe(x), tutel()).total_s
+        assert target * 0.8 < total < target * 1.25
+
+
+def test_a2a_dominates_step_time(runner):
+    """Paper Table 1: A2A is >= 50% of Tutel's step and grows with
+    depth."""
+    ratios = []
+    for x in (12, 16, 20, 24):
+        ratios.append(runner.step(ct_moe(x), tutel()).a2a_ratio)
+    assert all(r >= 0.5 for r in ratios)
+    assert ratios == sorted(ratios)
+
+
+def test_bert_large_results(runner):
+    """Paper Table 8: ScheMoE ~1.16x over Tutel; FasterMoE OOM."""
+    rows = runner.compare(bert_large_moe(), comparison_suite())
+    assert rows["Faster-MoE"].oom
+    assert not rows["Tutel"].oom
+    assert not rows["ScheMoE"].oom
+    speedup = rows["Tutel"].total_s / rows["ScheMoE"].total_s
+    assert 1.05 < speedup < 1.40
+
+
+def test_naive_is_slowest_everywhere(runner):
+    cfg = ct_moe(12)
+    t_naive = runner.step(cfg, naive()).total_s
+    for policy in (tutel(), schemoe(), schemoe_z(), schemoe_zp()):
+        assert runner.step(cfg, policy).total_s <= t_naive + 1e-9
+
+
+def test_runner_caches_profilers(runner):
+    p1 = runner.profiler_for(schemoe())
+    p2 = runner.profiler_for(schemoe())
+    assert p1 is p2
+    assert runner.profiler_for(tutel()) is not p1
+
+
+def test_speedup_stats():
+    stats = SpeedupStats.from_values([1.0, 1.1, 1.25, 1.3, 2.5])
+    assert stats.count == 5
+    assert stats.minimum == 1.0
+    assert stats.maximum == 2.5
+    assert sum(c for *_e, c in stats.histogram) == 5
+    text = stats.render()
+    assert "mean=" in text
+    with pytest.raises(ValueError):
+        SpeedupStats.from_values([])
