@@ -15,21 +15,35 @@ Zipf routing skew and shows the divide:
 from __future__ import annotations
 
 from repro.cluster import paper_testbed
-from repro.core import RoutingSkew, simulate_model_step
+from repro.core import RoutingSkew
 from repro.models import bert_large_moe, ct_moe
-from repro.systems import SystemRunner, fastermoe, schemoe, tutel
+from repro.systems import SweepTask, fastermoe, run_sweep, schemoe, tutel
 
-from _util import emit, once
+from _util import OUT_DIR, emit, once
 
 SKEWS = (0.0, 0.5, 1.0, 1.5, 2.0)
 
 
 def run_imbalance():
     spec = paper_testbed()
-    runner = SystemRunner(spec)
     cfg = ct_moe(12)
+    policies = (tutel(), fastermoe(), schemoe())
+    tasks = [
+        SweepTask(cfg, policy, skew=RoutingSkew(s))
+        for s in SKEWS
+        for policy in policies
+    ]
+    # The OOM story: BERT-Large under FasterMoE at realistic skew.
+    tasks.append(
+        SweepTask(bert_large_moe(), fastermoe(), skew=RoutingSkew(1.0))
+    )
+    results = run_sweep(
+        tasks, spec, cache_path=OUT_DIR / "sweep_cache.json"
+    )
+    bert = results.pop()
+
     rows = []
-    for s in SKEWS:
+    for i, s in enumerate(SKEWS):
         skew = RoutingSkew(s)
         entry = {
             "s": s,
@@ -38,20 +52,12 @@ def run_imbalance():
                 cfg.num_experts, cfg.capacity_factor
             ),
         }
-        for policy in (tutel(), fastermoe(), schemoe()):
-            result = simulate_model_step(
-                cfg, spec, policy,
-                profiler=runner.profiler_for(policy), skew=skew,
-            )
+        for j, policy in enumerate(policies):
+            result = results[i * len(policies) + j]
             entry[policy.name] = (
                 float("inf") if result.oom else result.total_s
             )
         rows.append(entry)
-
-    # The OOM story: BERT-Large under FasterMoE at realistic skew.
-    bert = simulate_model_step(
-        bert_large_moe(), spec, fastermoe(), skew=RoutingSkew(1.0)
-    )
     return rows, bert
 
 

@@ -1,0 +1,254 @@
+"""Hot-path micro-benchmark: sparse index routing vs dense einsums.
+
+Times the MoE numerical hot path — gating, dispatch, combine, and a
+full training step (forward + backward) — under both dispatch
+backends:
+
+* ``dense``: the GShard reference formulation, einsums over one-hot
+  (T, E, C) masks (``O(T * E * C * M)`` work);
+* ``sparse``: index-based gather/scatter routing
+  (``O(T * k * M)`` work), the default since this benchmark landed.
+
+Emits a machine-readable ``BENCH_hotpath.json`` at the repository
+root (plus the usual ``benchmarks/out/`` block) so the perf
+trajectory of the hot path is tracked PR over PR.
+
+Run directly (``--tiny`` for the CI smoke configuration)::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py [--tiny]
+
+or via pytest-benchmark like the other benches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.moe import (
+    MoELayer,
+    TopKGate,
+    combine,
+    combine_sparse,
+    dispatch,
+    dispatch_sparse,
+)
+from repro.nn import Tensor
+
+from _util import emit, once
+
+ROOT_JSON = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+#: The acceptance configuration for dispatch+combine (T, E, k, M).
+FULL = {"tokens": 4096, "experts": 32, "top_k": 2, "model_dim": 1024}
+#: Table-6-style full-training-step layer (kept smaller so the dense
+#: reference finishes quickly even on one core).
+FULL_STEP = {
+    "tokens": 1024,
+    "experts": 16,
+    "top_k": 2,
+    "model_dim": 256,
+    "hidden_dim": 512,
+}
+TINY = {"tokens": 64, "experts": 4, "top_k": 2, "model_dim": 16}
+TINY_STEP = {
+    "tokens": 64,
+    "experts": 4,
+    "top_k": 2,
+    "model_dim": 16,
+    "hidden_dim": 32,
+}
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def bench_routing(cfg: dict, repeats: int) -> dict:
+    """Gating / dispatch / combine timings in both modes."""
+    tokens, experts = cfg["tokens"], cfg["experts"]
+    top_k, model_dim = cfg["top_k"], cfg["model_dim"]
+    rng = np.random.default_rng(0)
+    gate = TopKGate(model_dim, experts, rng, top_k=top_k)
+    x = Tensor(
+        rng.standard_normal((tokens, model_dim)).astype(np.float32),
+        requires_grad=True,
+    )
+
+    gating_sparse = _best_of(lambda: gate(x.detach()), repeats)
+    out = gate(x.detach())
+
+    def densify():
+        fresh = gate(x.detach())
+        fresh.dispatch_mask
+        fresh.combine_weights
+    gating_dense = _best_of(densify, repeats)
+
+    mask = out.dispatch_mask
+    weights = out.combine_weights.detach()
+    gate_weights = out.gate_weights.detach()
+    seed = np.ones((tokens, model_dim), dtype=np.float32)
+
+    def dense_roundtrip():
+        x.zero_grad()
+        routed = dispatch(x, mask)
+        merged = combine(routed, weights)
+        merged.backward(seed)
+
+    def sparse_roundtrip():
+        x.zero_grad()
+        routed = dispatch_sparse(
+            x, out.expert_indices, out.slot_indices, experts, out.capacity
+        )
+        merged = combine_sparse(
+            routed,
+            out.expert_indices,
+            out.slot_indices,
+            gate_weights,
+            tokens,
+        )
+        merged.backward(seed)
+
+    dense_dc = _best_of(dense_roundtrip, repeats)
+    sparse_dc = _best_of(sparse_roundtrip, repeats)
+    return {
+        "config": dict(cfg, capacity=out.capacity),
+        "gating": {"dense_s": gating_dense, "sparse_s": gating_sparse},
+        "dispatch_combine_fwd_bwd": {
+            "dense_s": dense_dc,
+            "sparse_s": sparse_dc,
+            "speedup": dense_dc / sparse_dc,
+        },
+    }
+
+
+def bench_train_step(cfg: dict, repeats: int) -> dict:
+    """One full MoE-layer training step (fwd + loss + bwd) per mode."""
+    timings = {}
+    for mode in ("dense", "sparse"):
+        rng = np.random.default_rng(7)
+        layer = MoELayer(
+            cfg["model_dim"],
+            cfg["hidden_dim"],
+            cfg["experts"],
+            rng,
+            top_k=cfg["top_k"],
+            dispatch_mode=mode,
+        )
+        x = Tensor(
+            rng.standard_normal(
+                (cfg["tokens"], cfg["model_dim"])
+            ).astype(np.float32),
+            requires_grad=True,
+        )
+
+        def step():
+            x.zero_grad()
+            for p in layer.parameters():
+                p.zero_grad()
+            y = layer(x)
+            ((y**2).mean() + 0.01 * layer.last_aux_loss).backward()
+
+        timings[f"{mode}_s"] = _best_of(step, repeats)
+    timings["speedup"] = timings["dense_s"] / timings["sparse_s"]
+    return {"config": dict(cfg), **timings}
+
+
+def run_hotpath(tiny: bool = False, repeats: int = 3) -> dict:
+    routing_cfg = TINY if tiny else FULL
+    step_cfg = TINY_STEP if tiny else FULL_STEP
+    routing = bench_routing(routing_cfg, repeats)
+    step = bench_train_step(step_cfg, repeats)
+    return {
+        "bench": "hotpath",
+        "mode": "tiny" if tiny else "full",
+        "routing": routing,
+        "train_step": step,
+        "acceptance": {
+            "dispatch_combine_speedup": routing[
+                "dispatch_combine_fwd_bwd"
+            ]["speedup"],
+            "train_step_speedup": step["speedup"],
+        },
+    }
+
+
+def render(report: dict) -> str:
+    routing = report["routing"]
+    dc = routing["dispatch_combine_fwd_bwd"]
+    step = report["train_step"]
+    c = routing["config"]
+    lines = [
+        f"config: T={c['tokens']} E={c['experts']} k={c['top_k']} "
+        f"M={c['model_dim']} C={c['capacity']}  ({report['mode']})",
+        "",
+        f"{'section':<26} {'dense':>10} {'sparse':>10} {'speedup':>8}",
+        (
+            f"{'gating (+densify)':<26} "
+            f"{routing['gating']['dense_s'] * 1e3:>8.1f}ms "
+            f"{routing['gating']['sparse_s'] * 1e3:>8.1f}ms "
+            f"{routing['gating']['dense_s'] / max(routing['gating']['sparse_s'], 1e-12):>7.1f}x"
+        ),
+        (
+            f"{'dispatch+combine f+b':<26} "
+            f"{dc['dense_s'] * 1e3:>8.1f}ms {dc['sparse_s'] * 1e3:>8.1f}ms "
+            f"{dc['speedup']:>7.1f}x"
+        ),
+        (
+            f"{'full training step':<26} "
+            f"{step['dense_s'] * 1e3:>8.1f}ms {step['sparse_s'] * 1e3:>8.1f}ms "
+            f"{step['speedup']:>7.1f}x"
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def write_report(report: dict) -> None:
+    emit("hotpath", render(report), data=report)
+    # The root artifact tracks the acceptance configuration only — a
+    # --tiny smoke run must not clobber the recorded full numbers.
+    if report["mode"] == "full":
+        ROOT_JSON.write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
+def test_hotpath_sparse_speedup(benchmark):
+    report = once(benchmark, run_hotpath)
+    write_report(report)
+    # Acceptance: index routing is >= 5x faster than the dense einsum
+    # reference for dispatch+combine at T=4096, E=32, k=2, M=1024, and
+    # a full training step is measurably faster end-to-end.
+    assert report["acceptance"]["dispatch_combine_speedup"] >= 5.0
+    assert report["acceptance"]["train_step_speedup"] > 1.2
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help="smoke configuration for CI (seconds, not minutes)",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+    report = run_hotpath(tiny=args.tiny, repeats=args.repeats)
+    write_report(report)
+    if not args.tiny:
+        assert report["acceptance"]["dispatch_combine_speedup"] >= 5.0
+
+
+if __name__ == "__main__":
+    main()

@@ -16,16 +16,22 @@ from __future__ import annotations
 
 from repro.cluster import paper_testbed
 from repro.models import ablation_layer
-from repro.systems import SystemRunner, ablation_suite
+from repro.systems import SweepTask, ablation_suite, run_sweep
 
-from _util import emit, once
+from _util import OUT_DIR, emit, once
 
 ORDER = ("Naive", "ScheMoE-Z", "ScheMoE-ZP", "ScheMoE")
 
 
 def run_table10():
-    runner = SystemRunner(paper_testbed())
-    return runner.compare(ablation_layer(), ablation_suite())
+    policies = ablation_suite()
+    cfg = ablation_layer()
+    results = run_sweep(
+        [SweepTask(cfg, p) for p in policies],
+        paper_testbed(),
+        cache_path=OUT_DIR / "sweep_cache.json",
+    )
+    return {p.name: r for p, r in zip(policies, results)}
 
 
 def render(results) -> str:

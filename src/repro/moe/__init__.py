@@ -6,20 +6,36 @@ the models and the Table 6 convergence experiments.  The distributed
 *timing* of this layer is handled by :mod:`repro.core`.
 """
 
-from .dispatch import combine, dispatch
+from .dispatch import (
+    DISPATCH_MODES,
+    combine,
+    combine_sparse,
+    dispatch,
+    dispatch_sparse,
+)
 from .experts import Experts
-from .gating import GateOutput, TopKGate, load_balancing_loss
-from .layer import MoELayer
+from .gating import (
+    GateOutput,
+    TopKGate,
+    assign_capacity_slots,
+    load_balancing_loss,
+)
+from .layer import MoELayer, default_dispatch_mode
 from .parallel import A2ATraffic, ExpertParallelGroup
 
 __all__ = [
     "A2ATraffic",
+    "DISPATCH_MODES",
     "ExpertParallelGroup",
     "Experts",
     "GateOutput",
     "MoELayer",
+    "default_dispatch_mode",
     "TopKGate",
+    "assign_capacity_slots",
     "combine",
+    "combine_sparse",
     "dispatch",
+    "dispatch_sparse",
     "load_balancing_loss",
 ]

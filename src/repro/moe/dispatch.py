@@ -1,24 +1,38 @@
 """Dispatch and combine: the data movement the A2A collectives carry.
 
 GShard formulates both sides of expert parallelism as einsums over the
-gate's (tokens, experts, capacity) masks; we reproduce that exactly.
-In distributed execution the (E, C, M) dispatched tensor is what the
-first all-to-all ships between GPUs and the combined result is what
-the second all-to-all brings home (paper Fig. 2); numerically the
-single-process computation below is identical to the synchronized
-multi-GPU computation, which is why the convergence experiments can
-run without physical GPUs.
+gate's (tokens, experts, capacity) masks; the *dense* backend below
+reproduces that exactly.  In distributed execution the (E, C, M)
+dispatched tensor is what the first all-to-all ships between GPUs and
+the combined result is what the second all-to-all brings home (paper
+Fig. 2); numerically the single-process computation is identical to
+the synchronized multi-GPU computation, which is why the convergence
+experiments can run without physical GPUs.
+
+The dense einsums contract over a one-hot (T, E, C) mask — an
+``O(T * E * C * M)`` computation for what is really an ``O(T * k * M)``
+data movement.  The *sparse* backend routes via integer indices
+instead (a gather of kept token rows scatter-added into flat
+``expert * C + slot`` destinations, and the exact adjoint on the way
+back), the same move FastMoE made when it replaced GShard's einsum
+dispatch with index-based scatter/gather kernels.  Both backends
+produce identical outputs and gradients
+(`tests/moe/test_dispatch_parity.py`); the dense one stays selectable
+as the executable reference semantics.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..nn.tensor import Tensor, einsum
+from ..nn.tensor import Tensor, einsum, gather, scatter_add
+
+#: Valid values of the MoE layer's ``dispatch_mode`` switch.
+DISPATCH_MODES = ("dense", "sparse")
 
 
 def dispatch(tokens: Tensor, dispatch_mask: np.ndarray) -> Tensor:
-    """Route (T, M) tokens to (E, C, M) expert inputs.
+    """Route (T, M) tokens to (E, C, M) expert inputs (dense einsum).
 
     ``dispatch_mask`` is the gate's raw 0/1 (T, E, C) array; slots with
     no token stay zero (padding the expert batch to capacity, as the
@@ -35,7 +49,7 @@ def dispatch(tokens: Tensor, dispatch_mask: np.ndarray) -> Tensor:
 
 
 def combine(expert_outputs: Tensor, combine_weights: Tensor) -> Tensor:
-    """Merge (E, C, M) expert outputs into (T, M) tokens.
+    """Merge (E, C, M) expert outputs into (T, M) tokens (dense einsum).
 
     ``combine_weights`` carries the differentiable gate probabilities;
     a token dropped by capacity receives all-zero output (GShard
@@ -47,3 +61,75 @@ def combine(expert_outputs: Tensor, combine_weights: Tensor) -> Tensor:
             f"expert outputs must be (E, C, M), got {expert_outputs.shape}"
         )
     return einsum("ecm,tec->tm", expert_outputs, combine_weights)
+
+
+def _kept_assignments(expert_indices: np.ndarray, slot_indices: np.ndarray):
+    """Coordinate arrays of the non-dropped (slot >= 0) assignments."""
+    expert_indices = np.asarray(expert_indices)
+    slot_indices = np.asarray(slot_indices)
+    if expert_indices.shape != slot_indices.shape or expert_indices.ndim != 2:
+        raise ValueError(
+            f"expert_indices {expert_indices.shape} and slot_indices "
+            f"{slot_indices.shape} must both be (T, k)"
+        )
+    kept = slot_indices >= 0
+    token_ids, choice_ids = np.nonzero(kept)
+    expert_ids = expert_indices[token_ids, choice_ids]
+    slot_ids = slot_indices[token_ids, choice_ids]
+    return token_ids, choice_ids, expert_ids, slot_ids
+
+
+def dispatch_sparse(
+    tokens: Tensor,
+    expert_indices: np.ndarray,
+    slot_indices: np.ndarray,
+    num_experts: int,
+    capacity: int,
+) -> Tensor:
+    """Index-based dispatch: (T, M) tokens to (E, C, M) expert inputs.
+
+    Gathers the kept token rows and scatter-adds them into their flat
+    ``expert * C + slot`` destination — ``O(N * M)`` for N kept
+    assignments, forward and backward, with no (T, E, C) intermediate.
+    Numerically identical to :func:`dispatch` on the densified mask.
+    """
+    if tokens.ndim != 2:
+        raise ValueError(f"tokens must be (T, M), got {tokens.shape}")
+    token_ids, _, expert_ids, slot_ids = _kept_assignments(
+        expert_indices, slot_indices
+    )
+    flat_slots = expert_ids * capacity + slot_ids
+    rows = gather(tokens, token_ids)  # (N, M)
+    out = scatter_add(rows, flat_slots, num_experts * capacity)
+    return out.reshape(num_experts, capacity, tokens.shape[1])
+
+
+def combine_sparse(
+    expert_outputs: Tensor,
+    expert_indices: np.ndarray,
+    slot_indices: np.ndarray,
+    gate_weights: Tensor,
+    num_tokens: int,
+) -> Tensor:
+    """Index-based combine: (E, C, M) expert outputs to (T, M) tokens.
+
+    Gathers each kept assignment's expert-output row, scales it by the
+    differentiable (T, k) gate weight, and scatter-adds into the
+    owning token — the exact adjoint structure of the dense
+    ``ecm,tec->tm`` einsum, so outputs *and* gradients (including the
+    zero gradient at dropped assignments) match :func:`combine`.
+    """
+    if expert_outputs.ndim != 3:
+        raise ValueError(
+            f"expert outputs must be (E, C, M), got {expert_outputs.shape}"
+        )
+    num_experts, capacity, model_dim = expert_outputs.shape
+    token_ids, choice_ids, expert_ids, slot_ids = _kept_assignments(
+        expert_indices, slot_indices
+    )
+    flat_slots = expert_ids * capacity + slot_ids
+    rows = gather(
+        expert_outputs.reshape(num_experts * capacity, model_dim), flat_slots
+    )  # (N, M)
+    weights = gate_weights[token_ids, choice_ids].reshape(-1, 1)  # (N, 1)
+    return scatter_add(rows * weights, token_ids, num_tokens)

@@ -9,11 +9,24 @@ behaviour).  Routing *decisions* are discrete and not differentiated;
 the combine *weights* carry gradient through the softmax, and the
 standard load-balancing auxiliary loss keeps the router from
 collapsing onto few experts.
+
+Slot assignment is fully vectorized: a cumulative-sum over the
+choice-major one-hot expert mask yields each assignment's position
+within its expert's intake (its capacity slot), replacing the
+``top_k x num_tokens`` Python loop with ``O(k * T * E)`` numpy work.
+The ordering is identical to GShard's greedy FCFS rule — all first
+choices in token order, then all second choices — so routing results
+are bit-for-bit the same as the loop's.
+
+:class:`GateOutput` carries the routing natively in *sparse* index
+form (``(T, k)`` expert/slot indices plus ``(T, k)`` differentiable
+combine weights); the dense GShard ``(T, E, C)`` masks used by the
+reference einsum backend are materialized lazily on first access, so
+the sparse hot path never pays for them.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -23,26 +36,77 @@ from ..nn.modules import Linear, Module
 from ..nn.tensor import Tensor
 
 
-@dataclass
 class GateOutput:
     """Everything the MoE layer needs to route one batch of tokens.
 
-    ``dispatch_mask`` is a raw (tokens, experts, capacity) 0/1 array;
-    ``combine_weights`` the same shape carrying differentiable gate
-    probabilities; ``aux_loss`` the load-balancing loss tensor.
+    Two equivalent representations of the same routing decision:
+
+    * sparse — ``expert_indices`` and ``slot_indices`` are raw
+      ``(T, k)`` integer arrays (slot ``-1`` marks a dropped
+      assignment) and ``gate_weights`` a differentiable ``(T, k)``
+      tensor of normalized combine weights (zero at dropped entries);
+    * dense — ``dispatch_mask`` is a raw ``(T, E, C)`` 0/1 array and
+      ``combine_weights`` the same shape carrying the differentiable
+      gate probabilities (GShard's einsum operands).
+
+    Top-k gates construct the sparse form and the dense arrays are
+    densified lazily on first property access; gates with no natural
+    top-k structure (expert-choice) construct the dense form directly
+    and have no sparse fields (``has_sparse`` is False).
     """
 
-    dispatch_mask: np.ndarray
-    combine_weights: Tensor
-    aux_loss: Tensor
-    expert_load: np.ndarray
-    dropped_tokens: int
-    capacity: int
+    def __init__(
+        self,
+        *,
+        aux_loss: Tensor,
+        expert_load: np.ndarray,
+        dropped_tokens: int,
+        capacity: int,
+        dispatch_mask: Optional[np.ndarray] = None,
+        combine_weights: Optional[Tensor] = None,
+        expert_indices: Optional[np.ndarray] = None,
+        slot_indices: Optional[np.ndarray] = None,
+        gate_weights: Optional[Tensor] = None,
+        num_tokens: Optional[int] = None,
+        num_experts: Optional[int] = None,
+    ):
+        self.aux_loss = aux_loss
+        self.expert_load = expert_load
+        self.dropped_tokens = dropped_tokens
+        self.capacity = capacity
+        self.expert_indices = expert_indices
+        self.slot_indices = slot_indices
+        self.gate_weights = gate_weights
+        self._dispatch_mask = dispatch_mask
+        self._combine_weights = combine_weights
+        if dispatch_mask is not None:
+            self._num_tokens = dispatch_mask.shape[0]
+            self._num_experts = dispatch_mask.shape[1]
+        else:
+            if expert_indices is None or num_experts is None:
+                raise ValueError(
+                    "GateOutput needs either a dense dispatch_mask or "
+                    "sparse indices plus num_experts"
+                )
+            self._num_tokens = (
+                num_tokens if num_tokens is not None else expert_indices.shape[0]
+            )
+            self._num_experts = num_experts
 
+    # -- bookkeeping ---------------------------------------------------
     @property
     def num_tokens(self) -> int:
         """Tokens routed in this batch."""
-        return self.dispatch_mask.shape[0]
+        return self._num_tokens
+
+    @property
+    def num_experts(self) -> int:
+        return self._num_experts
+
+    @property
+    def has_sparse(self) -> bool:
+        """Whether index-based routing fields are available."""
+        return self.expert_indices is not None
 
     @property
     def drop_fraction(self) -> float:
@@ -50,6 +114,81 @@ class GateOutput:
         if self.num_tokens == 0:
             return 0.0
         return self.dropped_tokens / self.num_tokens
+
+    # -- lazy densification --------------------------------------------
+    def _kept_coords(self):
+        """(token, choice, expert, slot) arrays of kept assignments."""
+        kept = self.slot_indices >= 0
+        token_ids, choice_ids = np.nonzero(kept)
+        expert_ids = self.expert_indices[token_ids, choice_ids]
+        slot_ids = self.slot_indices[token_ids, choice_ids]
+        return token_ids, choice_ids, expert_ids, slot_ids
+
+    @property
+    def dispatch_mask(self) -> np.ndarray:
+        """Raw (T, E, C) 0/1 routing mask (densified on demand)."""
+        if self._dispatch_mask is None:
+            token_ids, _, expert_ids, slot_ids = self._kept_coords()
+            mask = np.zeros(
+                (self._num_tokens, self._num_experts, self.capacity),
+                dtype=np.float32,
+            )
+            mask[token_ids, expert_ids, slot_ids] = 1.0
+            self._dispatch_mask = mask
+        return self._dispatch_mask
+
+    @property
+    def combine_weights(self) -> Tensor:
+        """(T, E, C) differentiable weights (densified on demand).
+
+        The scatter keeps the tape: the dense gradient at each kept
+        (t, e, c) coordinate flows back to ``gate_weights[t, k]``,
+        exactly as the reference einsum formulation propagates it.
+        """
+        if self._combine_weights is None:
+            norm = self.gate_weights
+            token_ids, choice_ids, expert_ids, slot_ids = self._kept_coords()
+            shape = (self._num_tokens, self._num_experts, self.capacity)
+            data = np.zeros(shape, dtype=np.float32)
+            data[token_ids, expert_ids, slot_ids] = norm.data[
+                token_ids, choice_ids
+            ]
+
+            def backward(g):
+                grad = np.zeros(norm.shape, dtype=np.float32)
+                grad[token_ids, choice_ids] = g[
+                    token_ids, expert_ids, slot_ids
+                ]
+                return ((norm, grad),)
+
+            self._combine_weights = norm._make(data, (norm,), backward)
+        return self._combine_weights
+
+
+def assign_capacity_slots(
+    top_idx: np.ndarray, num_experts: int, capacity: int
+) -> np.ndarray:
+    """Vectorized GShard FCFS slot assignment.
+
+    ``top_idx`` is the (T, k) expert choice of every token.  Choices
+    are processed choice-major — all first choices in token order,
+    then all second choices — and each assignment takes the next free
+    slot of its expert, or is dropped (slot ``-1``) once the expert's
+    ``capacity`` slots are full.  A cumulative sum over the
+    choice-major one-hot expert mask computes every assignment's
+    position within its expert in one shot; positions beyond capacity
+    are exactly the assignments the greedy loop would skip, because a
+    skipped assignment never frees a slot.
+    """
+    num_tokens, top_k = top_idx.shape
+    if num_tokens == 0 or capacity == 0:
+        return np.full((num_tokens, top_k), -1, dtype=np.int64)
+    flat_experts = top_idx.T.reshape(-1)  # choice-major (k*T,)
+    onehot = flat_experts[:, None] == np.arange(num_experts)[None, :]
+    ranks = onehot.cumsum(axis=0, dtype=np.int64) - 1
+    flat_positions = ranks[np.arange(flat_experts.shape[0]), flat_experts]
+    flat_positions = np.where(flat_positions < capacity, flat_positions, -1)
+    return flat_positions.reshape(top_k, num_tokens).T
 
 
 class TopKGate(Module):
@@ -81,18 +220,29 @@ class TopKGate(Module):
         self._rng = rng
 
     def capacity(self, num_tokens: int) -> int:
-        """Paper Eq. (1) with B*L folded into ``num_tokens``."""
+        """Paper Eq. (1) with B*L folded into ``num_tokens``.
+
+        Clamped to ``[1, num_tokens]``: a token contributes at most
+        one assignment per expert (its top-k experts are distinct), so
+        slots beyond ``num_tokens`` can never fill and would only pad
+        every (E, C, M) buffer; zero tokens need zero slots.
+        """
+        if num_tokens < 0:
+            raise ValueError(f"num_tokens must be >= 0, got {num_tokens}")
+        if num_tokens == 0:
+            return 0
         cap = int(
             np.ceil(
                 self.capacity_factor * self.top_k * num_tokens / self.num_experts
             )
         )
-        return max(cap, 1)
+        return max(min(cap, num_tokens), 1)
 
     def forward(self, tokens: Tensor, capacity: Optional[int] = None) -> GateOutput:
         """Route a flat (num_tokens, model_dim) tensor.
 
-        Returns masks/weights shaped (tokens, experts, capacity).
+        Returns sparse (T, k) routing indices/weights; the dense
+        (T, E, C) masks densify lazily from them.
         """
         if tokens.ndim != 2:
             raise ValueError(
@@ -111,53 +261,39 @@ class TopKGate(Module):
         raw = probs.data
         top_idx = F.top_k_indices(raw, self.top_k, axis=-1)  # (T, k)
 
-        # Assign capacity slots greedily in token order, per expert,
-        # with priority to lower-ranked (higher-probability) choices —
+        # Capacity slots, greedily in token order per expert, with
+        # priority to lower-ranked (higher-probability) choices —
         # GShard processes the k-th choice after all (k-1)-th choices.
-        positions = np.full((num_tokens, self.top_k), -1, dtype=np.int64)
-        fill = np.zeros(self.num_experts, dtype=np.int64)
-        for choice in range(self.top_k):
-            experts = top_idx[:, choice]
-            for token in range(num_tokens):
-                e = experts[token]
-                if fill[e] < cap:
-                    positions[token, choice] = fill[e]
-                    fill[e] += 1
+        positions = assign_capacity_slots(top_idx, self.num_experts, cap)
 
         kept = positions >= 0
         dropped = int((~kept).sum())
-
-        dispatch = np.zeros((num_tokens, self.num_experts, cap), dtype=np.float32)
-        token_ids, choice_ids = np.nonzero(kept)
-        expert_ids = top_idx[token_ids, choice_ids]
-        slot_ids = positions[token_ids, choice_ids]
-        dispatch[token_ids, expert_ids, slot_ids] = 1.0
+        counts = np.bincount(
+            top_idx.reshape(-1), minlength=self.num_experts
+        ).astype(np.int64)
+        fill = np.minimum(counts, cap)
 
         # Combine weights: the gate probability of each kept
         # assignment, renormalized over the token's kept experts.
-        gathered = probs[np.arange(num_tokens)[:, None], top_idx]  # (T, k) Tensor
+        gathered = F.take_along_axis(probs, top_idx, axis=-1)  # (T, k)
         kept_f = kept.astype(np.float32)
         denom = (gathered * Tensor(kept_f)).sum(axis=-1, keepdims=True) + 1e-9
-        norm = gathered * Tensor(kept_f) / denom  # (T, k)
+        norm = gathered * Tensor(kept_f) / denom  # (T, k), 0 at dropped
 
-        # Scatter normalized weights into (T, E, C) differentiably:
-        # weight[t, e, c] = sum_k norm[t, k] * dispatch_onehot[t, k, e, c]
-        scatter = np.zeros(
-            (num_tokens, self.top_k, self.num_experts, cap), dtype=np.float32
+        first_choice = (
+            top_idx[:, 0] if num_tokens else np.zeros(0, dtype=np.int64)
         )
-        scatter[token_ids, choice_ids, expert_ids, slot_ids] = 1.0
-        from ..nn.tensor import einsum
-
-        combine = einsum("tk,tkec->tec", norm, Tensor(scatter))
-
-        aux = load_balancing_loss(probs, top_idx[:, 0], self.num_experts)
+        aux = load_balancing_loss(probs, first_choice, self.num_experts)
         return GateOutput(
-            dispatch_mask=dispatch,
-            combine_weights=combine,
             aux_loss=aux,
-            expert_load=fill.copy(),
+            expert_load=fill,
             dropped_tokens=dropped,
             capacity=cap,
+            expert_indices=top_idx,
+            slot_indices=positions,
+            gate_weights=norm,
+            num_tokens=num_tokens,
+            num_experts=self.num_experts,
         )
 
 
@@ -171,6 +307,9 @@ def load_balancing_loss(
     choice is e (discrete).  Minimized at uniform routing where it
     equals 1.
     """
+    if first_choice.shape[0] == 0:
+        # No tokens: a zero loss still wired to the gate's tape.
+        return probs.sum() * 0.0
     counts = np.bincount(first_choice, minlength=num_experts).astype(np.float32)
     frac = counts / max(first_choice.shape[0], 1)
     mean_probs = probs.mean(axis=0)  # (E,)

@@ -46,7 +46,16 @@ class ExpertChoiceGate(Module):
         self.wg = Linear(model_dim, num_experts, rng, bias=False)
 
     def capacity(self, num_tokens: int) -> int:
-        """Tokens each expert selects: C = ceil(f * k * T / E)."""
+        """Tokens each expert selects: C = ceil(f * k * T / E).
+
+        Zero tokens need zero slots; otherwise clamped to
+        ``[1, num_tokens]`` (an expert cannot select more tokens than
+        exist).
+        """
+        if num_tokens < 0:
+            raise ValueError(f"num_tokens must be >= 0, got {num_tokens}")
+        if num_tokens == 0:
+            return 0
         cap = int(
             np.ceil(
                 self.capacity_factor * self.top_k * num_tokens / self.num_experts
@@ -65,6 +74,18 @@ class ExpertChoiceGate(Module):
 
         logits = self.wg(tokens)
         probs = F.softmax(logits, axis=-1)  # (T, E)
+
+        if cap == 0:
+            # Zero tokens (or zero slots): empty routing, tape intact.
+            empty = np.zeros((num_tokens, self.num_experts, 0), np.float32)
+            return GateOutput(
+                dispatch_mask=empty,
+                combine_weights=Tensor(empty.copy()),
+                aux_loss=Tensor(np.float32(1.0)) + (probs.sum() * 0.0),
+                expert_load=np.zeros(self.num_experts, dtype=np.int64),
+                dropped_tokens=num_tokens,
+                capacity=0,
+            )
 
         # Each expert picks its top-cap tokens by affinity.
         affinity = probs.data.T  # (E, T)

@@ -20,6 +20,7 @@ discussion in Section 7).
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Optional
 
 import numpy as np
@@ -27,9 +28,42 @@ import numpy as np
 from ..compression.base import Compressor
 from ..nn.modules import Module
 from ..nn.tensor import Tensor
-from .dispatch import combine, dispatch
+from .dispatch import (
+    DISPATCH_MODES,
+    combine,
+    combine_sparse,
+    dispatch,
+    dispatch_sparse,
+)
 from .experts import Experts
 from .gating import GateOutput, TopKGate
+
+#: Backend used when ``MoELayer(dispatch_mode=None)`` — see
+#: :func:`default_dispatch_mode`.
+_default_dispatch_mode = "sparse"
+
+
+@contextmanager
+def default_dispatch_mode(mode: str):
+    """Temporarily change the backend new ``MoELayer``s default to.
+
+    Lets experiments that construct models deep inside a stack (e.g.
+    the Table 6 convergence study, whose recorded trajectories were
+    measured on the dense reference backend) pin a backend without
+    threading ``dispatch_mode`` through every constructor.
+    """
+    global _default_dispatch_mode
+    if mode not in DISPATCH_MODES:
+        raise ValueError(
+            f"unknown dispatch_mode {mode!r}; "
+            f"expected one of {DISPATCH_MODES}"
+        )
+    previous = _default_dispatch_mode
+    _default_dispatch_mode = mode
+    try:
+        yield
+    finally:
+        _default_dispatch_mode = previous
 
 
 class MoELayer(Module):
@@ -38,6 +72,15 @@ class MoELayer(Module):
     Parameters mirror the paper's Table 2 notation: ``model_dim`` M,
     ``hidden_dim`` H, ``num_experts`` E, ``top_k`` k and
     ``capacity_factor`` f.
+
+    ``dispatch_mode`` selects the routing backend (``None`` means the
+    process default, normally sparse — see
+    :func:`default_dispatch_mode`): ``"sparse"`` moves tokens by
+    integer index — ``O(T * k * M)`` forward
+    and backward — while ``"dense"`` runs the GShard reference einsums
+    over one-hot (T, E, C) masks.  Both compute identical outputs and
+    gradients; gates without sparse routing info (expert-choice) fall
+    back to the dense path automatically.
     """
 
     def __init__(
@@ -52,8 +95,17 @@ class MoELayer(Module):
         activation: str = "relu",
         gate_noise_std: float = 0.0,
         gate_type: str = "topk",
+        dispatch_mode: Optional[str] = None,
     ):
         super().__init__()
+        if dispatch_mode is None:
+            dispatch_mode = _default_dispatch_mode
+        if dispatch_mode not in DISPATCH_MODES:
+            raise ValueError(
+                f"unknown dispatch_mode {dispatch_mode!r}; "
+                f"expected one of {DISPATCH_MODES}"
+            )
+        self.dispatch_mode = dispatch_mode
         self.model_dim = model_dim
         if gate_type == "topk":
             self.gate = TopKGate(
@@ -119,12 +171,31 @@ class MoELayer(Module):
         self.last_gate_output = gate_out
         self.last_aux_loss = gate_out.aux_loss
 
-        dispatched = dispatch(tokens, gate_out.dispatch_mask)
+        sparse = self.dispatch_mode == "sparse" and gate_out.has_sparse
+        if sparse:
+            dispatched = dispatch_sparse(
+                tokens,
+                gate_out.expert_indices,
+                gate_out.slot_indices,
+                gate_out.num_experts,
+                gate_out.capacity,
+            )
+        else:
+            dispatched = dispatch(tokens, gate_out.dispatch_mask)
         self.last_dispatched = dispatched.data
         dispatched = self._transport(dispatched)  # first A2A
         expert_out = self.experts(dispatched)
         expert_out = self._transport(expert_out)  # second A2A
-        merged = combine(expert_out, gate_out.combine_weights)
+        if sparse:
+            merged = combine_sparse(
+                expert_out,
+                gate_out.expert_indices,
+                gate_out.slot_indices,
+                gate_out.gate_weights,
+                gate_out.num_tokens,
+            )
+        else:
+            merged = combine(expert_out, gate_out.combine_weights)
 
         if len(original_shape) == 3:
             return merged.reshape(original_shape)

@@ -111,11 +111,24 @@ class ExpertParallelGroup:
 
         # Dispatch: worker w builds, for each expert e, its (C, M)
         # capacity-padded buffer — the block it sends to e's owner.
+        # Sparse gate outputs fill the buffers by direct index
+        # assignment (each (expert, slot) holds at most one token);
+        # dense-only gates (expert-choice) use the reference einsum.
+        sparse = self.layer.dispatch_mode == "sparse"
         send_blocks = []  # [w][e] -> (C_w, M)
         for w in workers:
-            mask = gate_outputs[w].dispatch_mask  # (T, E, C)
+            out = gate_outputs[w]
             tokens = np.asarray(shards[w], dtype=np.float32)
-            blocks = np.einsum("tm,tec->ecm", tokens, mask)
+            if sparse and out.has_sparse:
+                blocks = np.zeros(
+                    (num_experts, out.capacity, model_dim), dtype=np.float32
+                )
+                t_ids, _, e_ids, s_ids = out._kept_coords()
+                blocks[e_ids, s_ids] = tokens[t_ids]
+            else:
+                blocks = np.einsum(
+                    "tm,tec->ecm", tokens, out.dispatch_mask
+                )
             send_blocks.append(blocks)
 
         # First all-to-all (dispatch): exchange expert blocks.
@@ -149,14 +162,25 @@ class ExpertParallelGroup:
         # which merge them with their own combine weights.
         outputs = []
         for w in workers:
-            weights = gate_outputs[w].combine_weights.data  # (T, E, C)
+            gate_out = gate_outputs[w]
+            num_tokens = gate_out.num_tokens
             expert_out = np.zeros(
-                (num_experts, weights.shape[2], model_dim), dtype=np.float32
+                (num_experts, gate_out.capacity, model_dim), dtype=np.float32
             )
             for owner in workers:
                 for expert, out in outbox[owner][w].items():
                     expert_out[expert] = out
-            merged = np.einsum("ecm,tec->tm", expert_out, weights)
+            if sparse and gate_out.has_sparse:
+                t_ids, c_ids, e_ids, s_ids = gate_out._kept_coords()
+                w_sel = gate_out.gate_weights.data[t_ids, c_ids]
+                merged = np.zeros((num_tokens, model_dim), dtype=np.float32)
+                np.add.at(
+                    merged, t_ids, w_sel[:, None] * expert_out[e_ids, s_ids]
+                )
+            else:
+                merged = np.einsum(
+                    "ecm,tec->tm", expert_out, gate_out.combine_weights.data
+                )
             outputs.append(merged.astype(np.float32))
         return outputs
 

@@ -23,7 +23,15 @@ from .modules import (
 )
 from .optim import SGD, Adam, Optimizer, WarmupInverseSqrt, clip_grad_norm
 from .serialization import load_checkpoint, save_checkpoint
-from .tensor import Tensor, concatenate, einsum, stack, where
+from .tensor import (
+    Tensor,
+    concatenate,
+    einsum,
+    gather,
+    scatter_add,
+    stack,
+    where,
+)
 
 __all__ = [
     "Adam",
@@ -45,10 +53,12 @@ __all__ = [
     "concatenate",
     "einsum",
     "functional",
+    "gather",
     "kaiming_normal",
     "load_checkpoint",
     "normal",
     "save_checkpoint",
+    "scatter_add",
     "stack",
     "where",
     "xavier_uniform",

@@ -229,6 +229,38 @@ def top_k_indices(scores: np.ndarray, k: int, axis: int = -1) -> np.ndarray:
     return np.take_along_axis(top, order, axis=axis)
 
 
+def take_along_axis(x: Tensor, indices: np.ndarray, axis: int = -1) -> Tensor:
+    """Differentiable ``np.take_along_axis``.
+
+    Selects per-position entries along ``axis`` (the natural companion
+    of :func:`top_k_indices`: pick each token's top-k gate values
+    without materializing one-hot masks).  The backward pass
+    scatter-adds the output gradient back to the selected positions.
+    """
+    idx = np.asarray(indices)
+    if not np.issubdtype(idx.dtype, np.integer):
+        raise TypeError(f"indices must be integers, got {idx.dtype}")
+    if idx.ndim != x.ndim:
+        raise ValueError(
+            f"indices ndim {idx.ndim} must match tensor ndim {x.ndim}"
+        )
+    data = np.take_along_axis(x.data, idx, axis=axis)
+
+    def backward(g):
+        grad = np.zeros_like(x.data)
+        np.add.at(
+            grad,
+            tuple(
+                idx if a == (axis % x.ndim) else np.indices(idx.shape)[a]
+                for a in range(x.ndim)
+            ),
+            g,
+        )
+        return ((x, grad),)
+
+    return x._make(data, (x,), backward)
+
+
 def one_hot(indices: np.ndarray, depth: int) -> np.ndarray:
     """Raw one-hot encoding (float32)."""
     idx = np.asarray(indices)

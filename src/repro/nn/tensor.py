@@ -393,6 +393,73 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
     return Tensor(data)
 
 
+def gather(x: Tensor, indices: np.ndarray, axis: int = 0) -> Tensor:
+    """Differentiable row gather: ``x[indices]`` along ``axis``.
+
+    ``indices`` is a raw integer array (routing decisions are not
+    differentiated); the backward pass scatter-adds the output
+    gradient back into the gathered rows, so an index appearing twice
+    accumulates both contributions.  This is the forward half of the
+    sparse MoE dispatch path — an ``O(N * M)`` data movement instead
+    of the dense einsum's ``O(T * E * C * M)`` contraction.
+    """
+    x = Tensor._lift(x)
+    idx = np.asarray(indices)
+    if not np.issubdtype(idx.dtype, np.integer):
+        raise TypeError(f"indices must be integers, got {idx.dtype}")
+    if x.ndim == 0:
+        raise ValueError("cannot gather from a 0-d tensor")
+    axis = axis % x.ndim
+    data = np.take(x.data, idx, axis=axis)
+
+    def backward(g):
+        grad = np.zeros_like(x.data)
+        if axis == 0:
+            np.add.at(grad, idx, g)
+        else:
+            moved = np.moveaxis(grad, axis, 0)
+            np.add.at(moved, idx, np.moveaxis(g, axis, 0))
+        return ((x, grad),)
+
+    return x._make(data, (x,), backward)
+
+
+def scatter_add(
+    values: Tensor, indices: np.ndarray, num_rows: int
+) -> Tensor:
+    """Differentiable scatter-add of rows into a zero tensor.
+
+    ``out[indices[n]] += values[n]`` for every leading-position ``n``;
+    the result has shape ``(num_rows,) + values.shape[1:]``.  Rows of
+    the output not named by any index stay zero (capacity padding in
+    the MoE dispatch).  The backward pass is a gather of the output
+    gradient at the same indices — the exact adjoint.
+    """
+    values = Tensor._lift(values)
+    idx = np.asarray(indices)
+    if not np.issubdtype(idx.dtype, np.integer):
+        raise TypeError(f"indices must be integers, got {idx.dtype}")
+    if idx.ndim != 1 or values.ndim < 1 or idx.shape[0] != values.shape[0]:
+        raise ValueError(
+            f"indices {idx.shape} must be 1-d and match the leading "
+            f"dimension of values {values.shape}"
+        )
+    if num_rows < 0:
+        raise ValueError(f"num_rows must be >= 0, got {num_rows}")
+    if idx.size and (idx.min() < 0 or idx.max() >= num_rows):
+        raise IndexError(
+            f"indices out of range for {num_rows} rows: "
+            f"[{idx.min()}, {idx.max()}]"
+        )
+    out = np.zeros((num_rows,) + values.shape[1:], dtype=np.float32)
+    np.add.at(out, idx, values.data)
+
+    def backward(g):
+        return ((values, g[idx]),)
+
+    return values._make(out, (values,), backward)
+
+
 def einsum(subscripts: str, *tensors: Tensor) -> Tensor:
     """Differentiable einsum for explicit (``->``) subscripts.
 

@@ -21,18 +21,23 @@ from .policies import (
     tutel,
 )
 from .runner import SpeedupStats, SystemRunner
+from .sweep import SweepCache, SweepTask, run_sweep, task_key
 
 __all__ = [
     "ALL_POLICIES",
     "SpeedupStats",
+    "SweepCache",
+    "SweepTask",
     "SystemRunner",
     "ablation_suite",
     "comparison_suite",
     "fastermoe",
     "naive",
+    "run_sweep",
     "schemoe",
     "schemoe_no_compression",
     "schemoe_z",
     "schemoe_zp",
+    "task_key",
     "tutel",
 ]

@@ -1,0 +1,279 @@
+"""Parallel sweep runner with a keyed on-disk result cache.
+
+The paper's evaluation replays large configuration grids — Figure 8
+alone is 675 grid points x 2 policies — and every point is a
+deterministic function of (model config, cluster spec, policy, skew).
+This module exploits that determinism twice, the way FSMoE-style
+schedulers build on cached per-task performance models instead of
+re-measuring everything:
+
+* **caching** — every simulated step is stored under a content hash of
+  its full configuration in a JSON file, so a re-run of a sweep (or a
+  different sweep sharing points) replays from disk in milliseconds;
+* **parallelism** — cache misses are partitioned into chunks executed
+  by a ``multiprocessing`` pool, each worker holding its own
+  :class:`~repro.systems.runner.SystemRunner` so profiler measurements
+  are still reused within a chunk.
+
+Because the simulator is deterministic, the parallel runner produces
+*byte-identical* results to the serial one (asserted in
+``tests/systems/test_sweep.py``); result order always follows task
+order regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.topology import ClusterSpec
+from ..core.imbalance import RoutingSkew
+from ..core.system import (
+    LayerTiming,
+    StepBreakdown,
+    SystemPolicy,
+    simulate_model_step,
+)
+from ..core.tasks import TaskDurations
+from ..models.configs import MoEModelConfig
+from .runner import SystemRunner
+
+#: Bump when the simulator's semantics change in a way that
+#: invalidates previously cached step results.
+CACHE_VERSION = 1
+
+#: Environment override for the worker count (0 or 1 forces serial).
+PROCESSES_ENV = "REPRO_SWEEP_PROCESSES"
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One point of a sweep: simulate ``cfg`` under ``policy``.
+
+    ``skew`` optionally injects dynamic routing imbalance (the
+    imbalance ablation sweeps it); it is part of the cache key.
+    """
+
+    cfg: MoEModelConfig
+    policy: SystemPolicy
+    skew: Optional[RoutingSkew] = None
+
+
+def _canonical(value):
+    """A stable JSON-encodable view of dataclasses / primitives."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = dataclasses.asdict(value)
+        return {k: _canonical(v) for k, v in sorted(fields.items())}
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    return value
+
+
+def task_key(task: SweepTask, spec: ClusterSpec) -> str:
+    """Content hash identifying one (config, policy, skew, cluster)."""
+    payload = {
+        "version": CACHE_VERSION,
+        "cfg": _canonical(task.cfg),
+        "policy": _canonical(task.policy),
+        "skew": _canonical(task.skew) if task.skew is not None else None,
+        "spec": _canonical(spec),
+    }
+    blob = json.dumps(payload, sort_keys=True, allow_nan=False)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# -- StepBreakdown <-> JSON record ------------------------------------------
+
+
+def breakdown_to_dict(b: StepBreakdown) -> dict:
+    """Flatten a :class:`StepBreakdown` into JSON-serializable floats.
+
+    Infinities (OOM timings) rely on Python's default non-strict JSON
+    round trip (``Infinity`` literals), which ``json.load`` restores
+    exactly.
+    """
+    d = b.moe_layer.durations
+    return {
+        "model": b.model,
+        "policy": b.policy,
+        "forward_s": b.moe_layer.forward_s,
+        "backward_s": b.moe_layer.backward_s,
+        "durations": {
+            "compress": d.compress,
+            "a2a": d.a2a,
+            "decompress": d.decompress,
+            "expert": d.expert,
+        },
+        "num_moe_layers": b.num_moe_layers,
+        "attention_s": b.attention_s,
+        "gate_s": b.gate_s,
+        "head_s": b.head_s,
+        "allreduce_s": b.allreduce_s,
+        "optimizer_s": b.optimizer_s,
+        "memory_bytes": b.memory_bytes,
+        "oom": b.oom,
+        "partitions": b._partitions,
+    }
+
+
+def breakdown_from_dict(record: dict) -> StepBreakdown:
+    """Rebuild the exact :class:`StepBreakdown` a worker computed."""
+    d = record["durations"]
+    return StepBreakdown(
+        model=record["model"],
+        policy=record["policy"],
+        moe_layer=LayerTiming(
+            forward_s=record["forward_s"],
+            backward_s=record["backward_s"],
+            durations=TaskDurations(
+                compress=d["compress"],
+                a2a=d["a2a"],
+                decompress=d["decompress"],
+                expert=d["expert"],
+            ),
+        ),
+        num_moe_layers=record["num_moe_layers"],
+        attention_s=record["attention_s"],
+        gate_s=record["gate_s"],
+        head_s=record["head_s"],
+        allreduce_s=record["allreduce_s"],
+        optimizer_s=record["optimizer_s"],
+        memory_bytes=record["memory_bytes"],
+        oom=record["oom"],
+        _partitions=record["partitions"],
+    )
+
+
+class SweepCache:
+    """A JSON file of ``task_key -> StepBreakdown record``."""
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self.entries: Dict[str, dict] = {}
+        self._dirty = False
+        if self.path.exists():
+            try:
+                blob = json.loads(self.path.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                blob = {}
+            if blob.get("version") == CACHE_VERSION:
+                self.entries = blob.get("entries", {})
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def get(self, key: str) -> Optional[dict]:
+        return self.entries.get(key)
+
+    def put(self, key: str, record: dict) -> None:
+        self.entries[key] = record
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        tmp.write_text(
+            json.dumps({"version": CACHE_VERSION, "entries": self.entries}),
+            encoding="utf-8",
+        )
+        tmp.replace(self.path)
+        self._dirty = False
+
+
+# -- execution ---------------------------------------------------------------
+
+
+def _simulate(runner: SystemRunner, task: SweepTask) -> dict:
+    result = simulate_model_step(
+        task.cfg,
+        runner.spec,
+        task.policy,
+        profiler=runner.profiler_for(task.policy),
+        skew=task.skew,
+    )
+    return breakdown_to_dict(result)
+
+
+def _run_chunk(args: Tuple[ClusterSpec, List[Tuple[int, SweepTask]]]):
+    """Worker entry point: simulate one chunk with a private runner."""
+    spec, indexed_tasks = args
+    runner = SystemRunner(spec)
+    return [(idx, _simulate(runner, task)) for idx, task in indexed_tasks]
+
+
+def default_processes() -> int:
+    """Worker count: ``REPRO_SWEEP_PROCESSES`` or the CPU count."""
+    env = os.environ.get(PROCESSES_ENV)
+    if env is not None:
+        try:
+            return max(int(env), 1)
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def run_sweep(
+    tasks: Sequence[SweepTask],
+    spec: ClusterSpec,
+    cache_path=None,
+    processes: Optional[int] = None,
+    chunks_per_process: int = 2,
+) -> List[StepBreakdown]:
+    """Simulate every task, in task order, parallel and cached.
+
+    ``cache_path`` (optional) names the JSON result cache: hits skip
+    simulation entirely, misses are computed and written back.
+    ``processes`` defaults to :func:`default_processes`; 1 runs
+    serially in-process with a single shared runner (maximal profiler
+    reuse — the previous serial-sweep behaviour).
+    """
+    tasks = list(tasks)
+    cache = SweepCache(cache_path) if cache_path is not None else None
+    keys = [task_key(task, spec) for task in tasks]
+
+    records: Dict[int, dict] = {}
+    misses: List[Tuple[int, SweepTask]] = []
+    for idx, (task, key) in enumerate(zip(tasks, keys)):
+        hit = cache.get(key) if cache is not None else None
+        if hit is not None:
+            records[idx] = hit
+        else:
+            misses.append((idx, task))
+
+    if processes is None:
+        processes = default_processes()
+    processes = max(1, min(processes, len(misses) or 1))
+
+    if misses and processes == 1:
+        runner = SystemRunner(spec)
+        for idx, task in misses:
+            records[idx] = _simulate(runner, task)
+    elif misses:
+        num_chunks = min(
+            len(misses), max(processes * chunks_per_process, 1)
+        )
+        chunks = [
+            (spec, misses[i::num_chunks]) for i in range(num_chunks)
+        ]
+        import multiprocessing
+
+        with multiprocessing.Pool(processes) as pool:
+            for chunk_result in pool.map(_run_chunk, chunks):
+                for idx, record in chunk_result:
+                    records[idx] = record
+
+    if cache is not None:
+        for idx, _task in misses:
+            cache.put(keys[idx], records[idx])
+        cache.save()
+
+    return [breakdown_from_dict(records[idx]) for idx in range(len(tasks))]

@@ -1,0 +1,158 @@
+"""Tests for the parallel cached sweep runner.
+
+The simulator is deterministic, so the one hard guarantee worth
+testing is byte-identity: serial, parallel, and cache-replayed runs
+of the same task list must produce exactly the same statistics.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster import paper_testbed
+from repro.core import RoutingSkew
+from repro.models import ct_moe
+from repro.systems import (
+    SweepCache,
+    SweepTask,
+    SystemRunner,
+    fastermoe,
+    run_sweep,
+    schemoe,
+    task_key,
+    tutel,
+)
+from repro.systems.sweep import (
+    CACHE_VERSION,
+    breakdown_from_dict,
+    breakdown_to_dict,
+)
+
+
+@pytest.fixture
+def tasks():
+    cfgs = [ct_moe(12), ct_moe(24)]
+    return [
+        SweepTask(cfg, policy)
+        for cfg in cfgs
+        for policy in (tutel(), schemoe())
+    ]
+
+
+def as_dicts(results):
+    return [breakdown_to_dict(r) for r in results]
+
+
+def test_matches_direct_simulation(tasks):
+    spec = paper_testbed()
+    runner = SystemRunner(spec)
+    direct = [
+        runner.step(task.cfg, task.policy) for task in tasks
+    ]
+    swept = run_sweep(tasks, spec, processes=1)
+    assert as_dicts(swept) == as_dicts(direct)
+
+
+def test_parallel_byte_identical_to_serial(tasks):
+    spec = paper_testbed()
+    serial = run_sweep(tasks, spec, processes=1)
+    parallel = run_sweep(tasks, spec, processes=2, chunks_per_process=1)
+    assert as_dicts(parallel) == as_dicts(serial)
+
+
+def test_warm_cache_replays_identically(tasks, tmp_path):
+    spec = paper_testbed()
+    cache_path = tmp_path / "cache.json"
+    cold = run_sweep(tasks, spec, cache_path=cache_path, processes=1)
+    assert cache_path.exists()
+
+    blob = json.loads(cache_path.read_text())
+    assert blob["version"] == CACHE_VERSION
+    assert len(blob["entries"]) == len(tasks)
+
+    # Poison the simulator-visible spec? No — simpler: the warm run
+    # must not simulate at all, which we observe via the cache file
+    # staying byte-identical and the results matching exactly.
+    before = cache_path.read_bytes()
+    warm = run_sweep(tasks, spec, cache_path=cache_path, processes=1)
+    assert cache_path.read_bytes() == before
+    assert as_dicts(warm) == as_dicts(cold)
+
+
+def test_cache_shared_across_orderings(tasks, tmp_path):
+    spec = paper_testbed()
+    cache_path = tmp_path / "cache.json"
+    first = run_sweep(tasks, spec, cache_path=cache_path, processes=1)
+    reordered = list(reversed(tasks))
+    second = run_sweep(reordered, spec, cache_path=cache_path, processes=1)
+    assert as_dicts(second) == list(reversed(as_dicts(first)))
+
+
+def test_key_sensitivity():
+    spec = paper_testbed()
+    base = SweepTask(ct_moe(12), tutel())
+    assert task_key(base, spec) == task_key(
+        SweepTask(ct_moe(12), tutel()), spec
+    )
+    assert task_key(base, spec) != task_key(
+        SweepTask(ct_moe(24), tutel()), spec
+    )
+    assert task_key(base, spec) != task_key(
+        SweepTask(ct_moe(12), schemoe()), spec
+    )
+    assert task_key(base, spec) != task_key(
+        SweepTask(ct_moe(12), tutel(), skew=RoutingSkew(1.0)), spec
+    )
+
+
+def test_skew_part_of_key_and_result():
+    spec = paper_testbed()
+    cfg = ct_moe(12)
+    # A capacity-free policy slows down under skew, so the two tasks
+    # must hash (and simulate) differently.
+    flat, skewed = run_sweep(
+        [
+            SweepTask(cfg, fastermoe()),
+            SweepTask(cfg, fastermoe(), skew=RoutingSkew(2.0)),
+        ],
+        spec,
+        processes=1,
+    )
+    assert flat.total_s != skewed.total_s
+
+
+def test_breakdown_roundtrip_with_oom():
+    spec = paper_testbed()
+    runner = SystemRunner(spec)
+    result = runner.step(ct_moe(12), schemoe())
+    record = breakdown_to_dict(result)
+    # The JSON trip is what the cache does — including inf timings.
+    record["forward_s"] = float("inf")
+    record["oom"] = True
+    replayed = json.loads(json.dumps(record))
+    rebuilt = breakdown_from_dict(replayed)
+    assert rebuilt.oom
+    assert np.isinf(rebuilt.moe_layer.forward_s)
+    assert breakdown_to_dict(rebuilt) == record
+
+
+def test_version_mismatch_discards_cache(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    cache_path.write_text(
+        json.dumps({"version": CACHE_VERSION + 1, "entries": {"k": {}}})
+    )
+    assert len(SweepCache(cache_path)) == 0
+
+
+def test_corrupt_cache_ignored(tmp_path):
+    cache_path = tmp_path / "cache.json"
+    cache_path.write_text("{not json")
+    assert len(SweepCache(cache_path)) == 0
+    run_sweep(
+        [SweepTask(ct_moe(12), tutel())],
+        paper_testbed(),
+        cache_path=cache_path,
+        processes=1,
+    )
+    assert json.loads(cache_path.read_text())["version"] == CACHE_VERSION
