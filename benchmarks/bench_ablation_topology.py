@@ -8,18 +8,71 @@ one dominates (e.g. NVLink boxes where intra is nearly free).
 This bench sweeps the intra-fabric bandwidth on the paper-testbed
 shape and compares the simulated NCCL->Pipe speedup against Eq. 18,
 plus spot-checks the NVLink and Ethernet presets.
+
+The measurements run through :func:`repro.systems.run_sweep` like the
+other grids: each point is a pair of single-layer step simulations
+(sequential scheduler, one partition, no codec) whose A2A task
+duration *is* the raw all-to-all time of the probe payload, and every
+result lands in the shared keyed cache
+(``benchmarks/out/sweep_cache.json``), so re-runs replay from disk.
 """
 
 from __future__ import annotations
 
 from repro.cluster import custom_ratio_testbed, ethernet_cluster, nvlink_dgx
-from repro.collectives import get_a2a, measure_a2a, theoretical_max_speedup
+from repro.collectives import theoretical_max_speedup
+from repro.core.system import SystemPolicy
+from repro.models.configs import MoEModelConfig
+from repro.systems import SweepTask, naive, run_sweep
 
-from _util import emit, once
+from _util import OUT_DIR, emit, once
+
+CACHE_PATH = OUT_DIR / "sweep_cache.json"
 
 SIZE = 2.56e8  # bandwidth-bound
 RATIOS = (0.05, 0.2, 0.5, 1.0, 2.0, 8.0)
 INTER = 7.5e9
+
+#: Single-MoE-layer probe whose per-GPU A2A payload (paper Eq. 2:
+#: f * k * B * L * M * 4 bytes = 64000 * 1000 * 4) equals ``SIZE``
+#: exactly, so the simulated A2A task time is the raw all-to-all time
+#: of the bandwidth-bound payload the Eq. 18 bound is evaluated at.
+PROBE = MoEModelConfig(
+    name="topology-probe",
+    num_layers=1,
+    batch_per_gpu=32,
+    seq_len=2000,
+    hidden_dim=1,
+    model_dim=1000,
+    top_k=1,
+    num_experts=32,
+    capacity_factor=1.0,
+    layer_only=True,
+)
+
+assert PROBE.a2a_bytes == SIZE
+
+
+def pipe_sequential() -> SystemPolicy:
+    """Pipe-A2A with no pipelining/codec: isolates the algorithm."""
+    return SystemPolicy(
+        name="Pipe-Sequential",
+        compressor="none",
+        a2a="pipe",
+        scheduler="sequential",
+        partitions=1,
+    )
+
+
+def measured_speedup(spec, cache_path=CACHE_PATH) -> float:
+    """Simulated NCCL->Pipe A2A speedup on ``spec`` via run_sweep."""
+    nccl, pipe = run_sweep(
+        [SweepTask(PROBE, naive()), SweepTask(PROBE, pipe_sequential())],
+        spec,
+        cache_path=cache_path,
+        processes=1,
+    )
+    return nccl.moe_layer.durations.a2a / pipe.moe_layer.durations.a2a
 
 
 def run_topology_sweep():
@@ -28,20 +81,19 @@ def run_topology_sweep():
         spec = custom_ratio_testbed(
             intra_bandwidth_bps=INTER * ratio, inter_bandwidth_bps=INTER
         )
-        t_nccl = measure_a2a(get_a2a("nccl"), spec, SIZE).seconds
-        t_pipe = measure_a2a(get_a2a("pipe"), spec, SIZE).seconds
         rows.append(
             {
                 "ratio": ratio,
-                "simulated": t_nccl / t_pipe,
+                "simulated": measured_speedup(spec),
                 "eq18": theoretical_max_speedup(spec, SIZE),
             }
         )
     extra = {}
     for label, spec in (("nvlink_dgx", nvlink_dgx()), ("ethernet", ethernet_cluster())):
-        t_nccl = measure_a2a(get_a2a("nccl"), spec, SIZE).seconds
-        t_pipe = measure_a2a(get_a2a("pipe"), spec, SIZE).seconds
-        extra[label] = (t_nccl / t_pipe, theoretical_max_speedup(spec, SIZE))
+        extra[label] = (
+            measured_speedup(spec),
+            theoretical_max_speedup(spec, SIZE),
+        )
     return rows, extra
 
 

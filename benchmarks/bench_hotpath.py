@@ -9,6 +9,10 @@ backends:
 * ``sparse``: index-based gather/scatter routing
   (``O(T * k * M)`` work), the default since this benchmark landed.
 
+Both the top-k and the expert-choice gate are timed — the latter
+emits the flat expert-major sparse form, the case that used to fall
+back to the dense einsums.
+
 Emits a machine-readable ``BENCH_hotpath.json`` at the repository
 root (plus the usual ``benchmarks/out/`` block) so the perf
 trajectory of the hot path is tracked PR over PR.
@@ -37,6 +41,7 @@ from repro.moe import (
     dispatch,
     dispatch_sparse,
 )
+from repro.moe.gating_ec import ExpertChoiceGate
 from repro.nn import Tensor
 
 from _util import emit, once
@@ -131,6 +136,76 @@ def bench_routing(cfg: dict, repeats: int) -> dict:
     }
 
 
+def bench_routing_ec(cfg: dict, repeats: int) -> dict:
+    """Expert-choice dispatch/combine timings in both modes.
+
+    Same harness as :func:`bench_routing`, but the gate emits the
+    *flat* sparse routing form (expert-major assignments) — the case
+    that used to densify and fall back to the dense einsums.
+    """
+    tokens, experts = cfg["tokens"], cfg["experts"]
+    top_k, model_dim = cfg["top_k"], cfg["model_dim"]
+    rng = np.random.default_rng(0)
+    gate = ExpertChoiceGate(model_dim, experts, rng, top_k=top_k)
+    x = Tensor(
+        rng.standard_normal((tokens, model_dim)).astype(np.float32),
+        requires_grad=True,
+    )
+
+    gating_sparse = _best_of(lambda: gate(x.detach()), repeats)
+    out = gate(x.detach())
+    assert out.has_sparse  # the point of this row
+
+    def densify():
+        fresh = gate(x.detach())
+        fresh.dispatch_mask
+        fresh.combine_weights
+    gating_dense = _best_of(densify, repeats)
+
+    mask = out.dispatch_mask
+    weights = out.combine_weights.detach()
+    gate_weights = out.gate_weights.detach()
+    seed = np.ones((tokens, model_dim), dtype=np.float32)
+
+    def dense_roundtrip():
+        x.zero_grad()
+        routed = dispatch(x, mask)
+        merged = combine(routed, weights)
+        merged.backward(seed)
+
+    def sparse_roundtrip():
+        x.zero_grad()
+        routed = dispatch_sparse(
+            x,
+            out.expert_indices,
+            out.slot_indices,
+            experts,
+            out.capacity,
+            token_indices=out.token_indices,
+        )
+        merged = combine_sparse(
+            routed,
+            out.expert_indices,
+            out.slot_indices,
+            gate_weights,
+            tokens,
+            token_indices=out.token_indices,
+        )
+        merged.backward(seed)
+
+    dense_dc = _best_of(dense_roundtrip, repeats)
+    sparse_dc = _best_of(sparse_roundtrip, repeats)
+    return {
+        "config": dict(cfg, capacity=out.capacity),
+        "gating": {"dense_s": gating_dense, "sparse_s": gating_sparse},
+        "dispatch_combine_fwd_bwd": {
+            "dense_s": dense_dc,
+            "sparse_s": sparse_dc,
+            "speedup": dense_dc / sparse_dc,
+        },
+    }
+
+
 def bench_train_step(cfg: dict, repeats: int) -> dict:
     """One full MoE-layer training step (fwd + loss + bwd) per mode."""
     timings = {}
@@ -167,14 +242,19 @@ def run_hotpath(tiny: bool = False, repeats: int = 3) -> dict:
     routing_cfg = TINY if tiny else FULL
     step_cfg = TINY_STEP if tiny else FULL_STEP
     routing = bench_routing(routing_cfg, repeats)
+    routing_ec = bench_routing_ec(routing_cfg, repeats)
     step = bench_train_step(step_cfg, repeats)
     return {
         "bench": "hotpath",
         "mode": "tiny" if tiny else "full",
         "routing": routing,
+        "routing_expert_choice": routing_ec,
         "train_step": step,
         "acceptance": {
             "dispatch_combine_speedup": routing[
+                "dispatch_combine_fwd_bwd"
+            ]["speedup"],
+            "ec_dispatch_combine_speedup": routing_ec[
                 "dispatch_combine_fwd_bwd"
             ]["speedup"],
             "train_step_speedup": step["speedup"],
@@ -185,11 +265,14 @@ def run_hotpath(tiny: bool = False, repeats: int = 3) -> dict:
 def render(report: dict) -> str:
     routing = report["routing"]
     dc = routing["dispatch_combine_fwd_bwd"]
+    ec = report["routing_expert_choice"]
+    ec_dc = ec["dispatch_combine_fwd_bwd"]
     step = report["train_step"]
     c = routing["config"]
     lines = [
         f"config: T={c['tokens']} E={c['experts']} k={c['top_k']} "
         f"M={c['model_dim']} C={c['capacity']}  ({report['mode']})",
+        f"expert-choice C={ec['config']['capacity']}",
         "",
         f"{'section':<26} {'dense':>10} {'sparse':>10} {'speedup':>8}",
         (
@@ -202,6 +285,12 @@ def render(report: dict) -> str:
             f"{'dispatch+combine f+b':<26} "
             f"{dc['dense_s'] * 1e3:>8.1f}ms {dc['sparse_s'] * 1e3:>8.1f}ms "
             f"{dc['speedup']:>7.1f}x"
+        ),
+        (
+            f"{'EC dispatch+combine f+b':<26} "
+            f"{ec_dc['dense_s'] * 1e3:>8.1f}ms "
+            f"{ec_dc['sparse_s'] * 1e3:>8.1f}ms "
+            f"{ec_dc['speedup']:>7.1f}x"
         ),
         (
             f"{'full training step':<26} "
@@ -227,9 +316,11 @@ def test_hotpath_sparse_speedup(benchmark):
     report = once(benchmark, run_hotpath)
     write_report(report)
     # Acceptance: index routing is >= 5x faster than the dense einsum
-    # reference for dispatch+combine at T=4096, E=32, k=2, M=1024, and
-    # a full training step is measurably faster end-to-end.
+    # reference for dispatch+combine at T=4096, E=32, k=2, M=1024 —
+    # for the top-k *and* the expert-choice gate — and a full training
+    # step is measurably faster end-to-end.
     assert report["acceptance"]["dispatch_combine_speedup"] >= 5.0
+    assert report["acceptance"]["ec_dispatch_combine_speedup"] >= 5.0
     assert report["acceptance"]["train_step_speedup"] > 1.2
 
 
@@ -248,6 +339,7 @@ def main() -> None:
     write_report(report)
     if not args.tiny:
         assert report["acceptance"]["dispatch_combine_speedup"] >= 5.0
+        assert report["acceptance"]["ec_dispatch_combine_speedup"] >= 5.0
 
 
 if __name__ == "__main__":

@@ -63,20 +63,59 @@ def combine(expert_outputs: Tensor, combine_weights: Tensor) -> Tensor:
     return einsum("ecm,tec->tm", expert_outputs, combine_weights)
 
 
-def _kept_assignments(expert_indices: np.ndarray, slot_indices: np.ndarray):
-    """Coordinate arrays of the non-dropped (slot >= 0) assignments."""
+def _kept_assignments(
+    expert_indices: np.ndarray,
+    slot_indices: np.ndarray,
+    token_indices=None,
+):
+    """Coordinate arrays of the non-dropped (slot >= 0) assignments.
+
+    Accepts both sparse routing layouts (see
+    :class:`~repro.moe.gating.GateOutput`):
+
+    * token-major ``(T, k)`` index arrays (``token_indices`` unused —
+      the row *is* the token);
+    * flat ``(N,)`` arrays with an explicit aligned ``token_indices``.
+
+    Returns ``(token_ids, weight_index, expert_ids, slot_ids)`` where
+    ``weight_index`` is the tuple that selects each kept assignment's
+    entry from the gate-weight tensor of the matching layout.
+    """
     expert_indices = np.asarray(expert_indices)
     slot_indices = np.asarray(slot_indices)
-    if expert_indices.shape != slot_indices.shape or expert_indices.ndim != 2:
+    if expert_indices.shape != slot_indices.shape:
         raise ValueError(
             f"expert_indices {expert_indices.shape} and slot_indices "
-            f"{slot_indices.shape} must both be (T, k)"
+            f"{slot_indices.shape} must have the same shape"
         )
-    kept = slot_indices >= 0
-    token_ids, choice_ids = np.nonzero(kept)
-    expert_ids = expert_indices[token_ids, choice_ids]
-    slot_ids = slot_indices[token_ids, choice_ids]
-    return token_ids, choice_ids, expert_ids, slot_ids
+    if expert_indices.ndim == 2:
+        kept = slot_indices >= 0
+        token_ids, choice_ids = np.nonzero(kept)
+        expert_ids = expert_indices[token_ids, choice_ids]
+        slot_ids = slot_indices[token_ids, choice_ids]
+        return token_ids, (token_ids, choice_ids), expert_ids, slot_ids
+    if expert_indices.ndim == 1:
+        if token_indices is None:
+            raise ValueError(
+                "flat (N,) routing indices require token_indices"
+            )
+        token_indices = np.asarray(token_indices)
+        if token_indices.shape != expert_indices.shape:
+            raise ValueError(
+                f"token_indices {token_indices.shape} must match "
+                f"expert_indices {expert_indices.shape}"
+            )
+        (pos,) = np.nonzero(slot_indices >= 0)
+        return (
+            token_indices[pos],
+            (pos,),
+            expert_indices[pos],
+            slot_indices[pos],
+        )
+    raise ValueError(
+        f"routing indices must be (T, k) or flat (N,), got "
+        f"{expert_indices.shape}"
+    )
 
 
 def dispatch_sparse(
@@ -85,22 +124,32 @@ def dispatch_sparse(
     slot_indices: np.ndarray,
     num_experts: int,
     capacity: int,
+    token_indices=None,
 ) -> Tensor:
     """Index-based dispatch: (T, M) tokens to (E, C, M) expert inputs.
 
-    Gathers the kept token rows and scatter-adds them into their flat
+    Gathers the kept token rows and scatters them into their flat
     ``expert * C + slot`` destination — ``O(N * M)`` for N kept
     assignments, forward and backward, with no (T, E, C) intermediate.
-    Numerically identical to :func:`dispatch` on the densified mask.
+    Destinations are unique by construction (one token per capacity
+    slot, for every gate), so the scatter takes
+    :func:`~repro.nn.tensor.scatter_add`'s ``unique_indices`` store
+    path instead of the accumulating ``np.add.at``.  Numerically
+    identical to :func:`dispatch` on the densified mask.
+
+    Routing indices may be token-major ``(T, k)`` or flat ``(N,)``
+    with ``token_indices`` (see :func:`_kept_assignments`).
     """
     if tokens.ndim != 2:
         raise ValueError(f"tokens must be (T, M), got {tokens.shape}")
     token_ids, _, expert_ids, slot_ids = _kept_assignments(
-        expert_indices, slot_indices
+        expert_indices, slot_indices, token_indices
     )
     flat_slots = expert_ids * capacity + slot_ids
     rows = gather(tokens, token_ids)  # (N, M)
-    out = scatter_add(rows, flat_slots, num_experts * capacity)
+    out = scatter_add(
+        rows, flat_slots, num_experts * capacity, unique_indices=True
+    )
     return out.reshape(num_experts, capacity, tokens.shape[1])
 
 
@@ -110,26 +159,34 @@ def combine_sparse(
     slot_indices: np.ndarray,
     gate_weights: Tensor,
     num_tokens: int,
+    token_indices=None,
 ) -> Tensor:
     """Index-based combine: (E, C, M) expert outputs to (T, M) tokens.
 
     Gathers each kept assignment's expert-output row, scales it by the
-    differentiable (T, k) gate weight, and scatter-adds into the
-    owning token — the exact adjoint structure of the dense
-    ``ecm,tec->tm`` einsum, so outputs *and* gradients (including the
-    zero gradient at dropped assignments) match :func:`combine`.
+    differentiable gate weight, and scatter-adds into the owning token
+    — the exact adjoint structure of the dense ``ecm,tec->tm`` einsum,
+    so outputs *and* gradients (including the zero gradient at dropped
+    assignments) match :func:`combine`.  Here the destinations are
+    token ids, which *do* repeat (a token combines contributions from
+    up to k — or, under expert-choice, up to E — experts), so the
+    accumulating scatter stays.
+
+    ``gate_weights`` matches the index layout: a ``(T, k)`` tensor for
+    token-major indices, a flat ``(N,)`` tensor (with
+    ``token_indices``) for flat indices.
     """
     if expert_outputs.ndim != 3:
         raise ValueError(
             f"expert outputs must be (E, C, M), got {expert_outputs.shape}"
         )
     num_experts, capacity, model_dim = expert_outputs.shape
-    token_ids, choice_ids, expert_ids, slot_ids = _kept_assignments(
-        expert_indices, slot_indices
+    token_ids, weight_index, expert_ids, slot_ids = _kept_assignments(
+        expert_indices, slot_indices, token_indices
     )
     flat_slots = expert_ids * capacity + slot_ids
     rows = gather(
         expert_outputs.reshape(num_experts * capacity, model_dim), flat_slots
     )  # (N, M)
-    weights = gate_weights[token_ids, choice_ids].reshape(-1, 1)  # (N, 1)
+    weights = gate_weights[weight_index].reshape(-1, 1)  # (N, 1)
     return scatter_add(rows * weights, token_ids, num_tokens)

@@ -41,18 +41,33 @@ class GateOutput:
 
     Two equivalent representations of the same routing decision:
 
-    * sparse — ``expert_indices`` and ``slot_indices`` are raw
-      ``(T, k)`` integer arrays (slot ``-1`` marks a dropped
-      assignment) and ``gate_weights`` a differentiable ``(T, k)``
-      tensor of normalized combine weights (zero at dropped entries);
+    * sparse — integer index arrays naming each routing assignment
+      plus a differentiable tensor of combine weights, in one of two
+      layouts (below);
     * dense — ``dispatch_mask`` is a raw ``(T, E, C)`` 0/1 array and
       ``combine_weights`` the same shape carrying the differentiable
       gate probabilities (GShard's einsum operands).
 
-    Top-k gates construct the sparse form and the dense arrays are
-    densified lazily on first property access; gates with no natural
-    top-k structure (expert-choice) construct the dense form directly
-    and have no sparse fields (``has_sparse`` is False).
+    The sparse layouts:
+
+    * **token-major** ``(T, k)`` — row t holds token t's k choices:
+      ``expert_indices``/``slot_indices`` are ``(T, k)`` arrays (slot
+      ``-1`` marks a dropped assignment) and ``gate_weights`` a
+      differentiable ``(T, k)`` tensor of combine weights (zero at
+      dropped entries).  This is :class:`TopKGate`'s natural form.
+    * **flat** ``(N,)`` — one entry per assignment with no per-token
+      structure: ``expert_indices``/``slot_indices``/``token_indices``
+      are aligned ``(N,)`` arrays and ``gate_weights`` a
+      differentiable ``(N,)`` tensor.  Gates whose assignment count
+      varies per token — expert-choice, where each *expert* picks its
+      top-C tokens and a token may appear 0..E times — emit this form
+      (``token_indices`` is None in the token-major layout, where the
+      row index is the token).
+
+    Every gate now constructs a sparse form; the dense arrays are
+    densified lazily on first property access, so the index-based hot
+    path never pays for them and the dense einsum backend remains a
+    pure reference path.
     """
 
     def __init__(
@@ -66,6 +81,7 @@ class GateOutput:
         combine_weights: Optional[Tensor] = None,
         expert_indices: Optional[np.ndarray] = None,
         slot_indices: Optional[np.ndarray] = None,
+        token_indices: Optional[np.ndarray] = None,
         gate_weights: Optional[Tensor] = None,
         num_tokens: Optional[int] = None,
         num_experts: Optional[int] = None,
@@ -76,22 +92,35 @@ class GateOutput:
         self.capacity = capacity
         self.expert_indices = expert_indices
         self.slot_indices = slot_indices
+        self.token_indices = token_indices
         self.gate_weights = gate_weights
         self._dispatch_mask = dispatch_mask
         self._combine_weights = combine_weights
-        if dispatch_mask is not None:
+        if expert_indices is not None:
+            if num_experts is None:
+                raise ValueError("sparse GateOutput needs num_experts")
+            if expert_indices.ndim == 1:
+                if token_indices is None or num_tokens is None:
+                    raise ValueError(
+                        "flat (N,) sparse routing needs token_indices "
+                        "and num_tokens"
+                    )
+                self._num_tokens = num_tokens
+            else:
+                self._num_tokens = (
+                    num_tokens
+                    if num_tokens is not None
+                    else expert_indices.shape[0]
+                )
+            self._num_experts = num_experts
+        elif dispatch_mask is not None:
             self._num_tokens = dispatch_mask.shape[0]
             self._num_experts = dispatch_mask.shape[1]
         else:
-            if expert_indices is None or num_experts is None:
-                raise ValueError(
-                    "GateOutput needs either a dense dispatch_mask or "
-                    "sparse indices plus num_experts"
-                )
-            self._num_tokens = (
-                num_tokens if num_tokens is not None else expert_indices.shape[0]
+            raise ValueError(
+                "GateOutput needs either a dense dispatch_mask or "
+                "sparse indices plus num_experts"
             )
-            self._num_experts = num_experts
 
     # -- bookkeeping ---------------------------------------------------
     @property
@@ -117,18 +146,33 @@ class GateOutput:
 
     # -- lazy densification --------------------------------------------
     def _kept_coords(self):
-        """(token, choice, expert, slot) arrays of kept assignments."""
-        kept = self.slot_indices >= 0
-        token_ids, choice_ids = np.nonzero(kept)
-        expert_ids = self.expert_indices[token_ids, choice_ids]
-        slot_ids = self.slot_indices[token_ids, choice_ids]
-        return token_ids, choice_ids, expert_ids, slot_ids
+        """(token, expert, slot, weight-index) arrays of kept assignments.
+
+        The last element indexes ``gate_weights`` — ``(token, choice)``
+        pairs in the token-major layout, flat positions in the flat
+        layout — so ``gate_weights.data[w_idx]`` (or the differentiable
+        ``gate_weights[w_idx]``) selects each kept assignment's weight
+        in either form.
+        """
+        if self.expert_indices.ndim == 2:
+            kept = self.slot_indices >= 0
+            token_ids, choice_ids = np.nonzero(kept)
+            expert_ids = self.expert_indices[token_ids, choice_ids]
+            slot_ids = self.slot_indices[token_ids, choice_ids]
+            return token_ids, expert_ids, slot_ids, (token_ids, choice_ids)
+        (pos,) = np.nonzero(self.slot_indices >= 0)
+        return (
+            self.token_indices[pos],
+            self.expert_indices[pos],
+            self.slot_indices[pos],
+            (pos,),
+        )
 
     @property
     def dispatch_mask(self) -> np.ndarray:
         """Raw (T, E, C) 0/1 routing mask (densified on demand)."""
         if self._dispatch_mask is None:
-            token_ids, _, expert_ids, slot_ids = self._kept_coords()
+            token_ids, expert_ids, slot_ids, _ = self._kept_coords()
             mask = np.zeros(
                 (self._num_tokens, self._num_experts, self.capacity),
                 dtype=np.float32,
@@ -142,23 +186,20 @@ class GateOutput:
         """(T, E, C) differentiable weights (densified on demand).
 
         The scatter keeps the tape: the dense gradient at each kept
-        (t, e, c) coordinate flows back to ``gate_weights[t, k]``,
-        exactly as the reference einsum formulation propagates it.
+        (t, e, c) coordinate flows back to the corresponding
+        ``gate_weights`` entry, exactly as the reference einsum
+        formulation propagates it.
         """
         if self._combine_weights is None:
             norm = self.gate_weights
-            token_ids, choice_ids, expert_ids, slot_ids = self._kept_coords()
+            token_ids, expert_ids, slot_ids, w_idx = self._kept_coords()
             shape = (self._num_tokens, self._num_experts, self.capacity)
             data = np.zeros(shape, dtype=np.float32)
-            data[token_ids, expert_ids, slot_ids] = norm.data[
-                token_ids, choice_ids
-            ]
+            data[token_ids, expert_ids, slot_ids] = norm.data[w_idx]
 
             def backward(g):
                 grad = np.zeros(norm.shape, dtype=np.float32)
-                grad[token_ids, choice_ids] = g[
-                    token_ids, expert_ids, slot_ids
-                ]
+                grad[w_idx] = g[token_ids, expert_ids, slot_ids]
                 return ((norm, grad),)
 
             self._combine_weights = norm._make(data, (norm,), backward)
@@ -248,6 +289,8 @@ class TopKGate(Module):
             raise ValueError(
                 f"gate expects (tokens, model_dim), got shape {tokens.shape}"
             )
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
         num_tokens = tokens.shape[0]
         cap = capacity if capacity is not None else self.capacity(num_tokens)
 

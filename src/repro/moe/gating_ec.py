@@ -8,6 +8,17 @@ directions its system composes with; implementing it behind the same
 :class:`~repro.moe.gating.GateOutput` interface demonstrates exactly
 that composability: the MoE layer, the compression transport, the
 profiler and the scheduler all work unchanged.
+
+Routing is emitted in :class:`GateOutput`'s *flat* sparse form: the
+selection ``chosen[e, c] = t`` flattens (expert-major, slot order
+within each expert) into aligned ``(N,)`` token/expert/slot index
+arrays plus a differentiable ``(N,)`` tensor of affinities — the same
+index-based representation :class:`~repro.moe.gating.TopKGate` emits
+token-major, so ``dispatch_mode="sparse"`` covers this gate too and
+the dense ``(T, E, C)`` einsum operands exist only as lazy
+densifications for the reference backend.  A token selected by
+several experts appears once per selecting expert; every ``(expert,
+slot)`` destination holds exactly one token.
 """
 
 from __future__ import annotations
@@ -16,7 +27,7 @@ import numpy as np
 
 from ..nn import functional as F
 from ..nn.modules import Linear, Module
-from ..nn.tensor import Tensor, einsum
+from ..nn.tensor import Tensor
 from .gating import GateOutput
 
 
@@ -68,52 +79,57 @@ class ExpertChoiceGate(Module):
             raise ValueError(
                 f"gate expects (tokens, model_dim), got shape {tokens.shape}"
             )
+        if capacity is not None and capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
         num_tokens = tokens.shape[0]
         cap = capacity if capacity is not None else self.capacity(num_tokens)
         cap = min(cap, num_tokens)
 
         logits = self.wg(tokens)
         probs = F.softmax(logits, axis=-1)  # (T, E)
+        # Perfectly balanced by construction -> aux loss constant 1
+        # (wired to the gate's tape so an empty backward still works).
+        aux = Tensor(np.float32(1.0)) + (probs.sum() * 0.0)
 
         if cap == 0:
-            # Zero tokens (or zero slots): empty routing, tape intact.
-            empty = np.zeros((num_tokens, self.num_experts, 0), np.float32)
+            # Zero tokens (or zero slots): empty flat routing.
+            empty = np.zeros(0, dtype=np.int64)
             return GateOutput(
-                dispatch_mask=empty,
-                combine_weights=Tensor(empty.copy()),
-                aux_loss=Tensor(np.float32(1.0)) + (probs.sum() * 0.0),
+                aux_loss=aux,
                 expert_load=np.zeros(self.num_experts, dtype=np.int64),
                 dropped_tokens=num_tokens,
                 capacity=0,
+                expert_indices=empty,
+                slot_indices=empty.copy(),
+                token_indices=empty.copy(),
+                gate_weights=probs[empty, empty.copy()],
+                num_tokens=num_tokens,
+                num_experts=self.num_experts,
             )
 
-        # Each expert picks its top-cap tokens by affinity.
+        # Each expert picks its top-cap tokens by affinity.  Flatten
+        # expert-major: assignment n = (expert n // cap, slot n % cap).
         affinity = probs.data.T  # (E, T)
         chosen = F.top_k_indices(affinity, cap, axis=-1)  # (E, cap)
-
-        dispatch = np.zeros(
-            (num_tokens, self.num_experts, cap), dtype=np.float32
-        )
+        token_ids = chosen.reshape(-1)  # (N,) with N = E * cap
         expert_ids = np.repeat(np.arange(self.num_experts), cap)
         slot_ids = np.tile(np.arange(cap), self.num_experts)
-        token_ids = chosen.reshape(-1)
-        dispatch[token_ids, expert_ids, slot_ids] = 1.0
 
-        # Combine weights: the (differentiable) affinity of each
-        # selected (token, expert) pair, scattered into (T, E, cap).
-        combine = einsum(
-            "te,tec->tec", probs, Tensor(dispatch)
-        )
+        # Combine weights: each selected pair's (differentiable)
+        # affinity probs[t, e], gathered along the tape.
+        gate_weights = probs[token_ids, expert_ids]  # (N,)
 
         load = np.full(self.num_experts, cap, dtype=np.int64)
         dropped = int(num_tokens - len(np.unique(token_ids)))
-        # Perfectly balanced by construction -> aux loss constant 1.
-        aux = Tensor(np.float32(1.0)) + (probs.sum() * 0.0)
         return GateOutput(
-            dispatch_mask=dispatch,
-            combine_weights=combine,
             aux_loss=aux,
             expert_load=load,
             dropped_tokens=dropped,
             capacity=cap,
+            expert_indices=expert_ids,
+            slot_indices=slot_ids,
+            token_indices=token_ids,
+            gate_weights=gate_weights,
+            num_tokens=num_tokens,
+            num_experts=self.num_experts,
         )

@@ -76,11 +76,13 @@ class MoELayer(Module):
     ``dispatch_mode`` selects the routing backend (``None`` means the
     process default, normally sparse — see
     :func:`default_dispatch_mode`): ``"sparse"`` moves tokens by
-    integer index — ``O(T * k * M)`` forward
-    and backward — while ``"dense"`` runs the GShard reference einsums
-    over one-hot (T, E, C) masks.  Both compute identical outputs and
-    gradients; gates without sparse routing info (expert-choice) fall
-    back to the dense path automatically.
+    integer index — ``O(N * M)`` in the number of routed assignments,
+    forward and backward — while ``"dense"`` runs the GShard reference
+    einsums over one-hot (T, E, C) masks.  Both compute identical
+    outputs and gradients for every gate type: top-k emits token-major
+    ``(T, k)`` indices, expert-choice flat ``(N,)`` indices, and the
+    sparse backend consumes either, so the dense path is a pure
+    reference semantics, never a fallback.
     """
 
     def __init__(
@@ -140,7 +142,9 @@ class MoELayer(Module):
         #: Gate statistics of the most recent forward.
         self.last_gate_output: Optional[GateOutput] = None
         #: Raw dispatched (E, C, M) payload of the most recent forward
-        #: — the tensor the first A2A carries (for fidelity studies).
+        #: — the *pre-compression* input handed to the first A2A's
+        #: codec (for fidelity studies; with a lossy compressor the
+        #: wire itself carries the codec's compressed encoding).
         self.last_dispatched: Optional[np.ndarray] = None
 
     def _transport(self, x: Tensor) -> Tensor:
@@ -179,6 +183,7 @@ class MoELayer(Module):
                 gate_out.slot_indices,
                 gate_out.num_experts,
                 gate_out.capacity,
+                token_indices=gate_out.token_indices,
             )
         else:
             dispatched = dispatch(tokens, gate_out.dispatch_mask)
@@ -193,6 +198,7 @@ class MoELayer(Module):
                 gate_out.slot_indices,
                 gate_out.gate_weights,
                 gate_out.num_tokens,
+                token_indices=gate_out.token_indices,
             )
         else:
             merged = combine(expert_out, gate_out.combine_weights)

@@ -25,7 +25,6 @@ import numpy as np
 
 from ..compression.base import Compressor
 from .experts import Experts
-from .gating import TopKGate
 from .layer import MoELayer
 
 
@@ -88,7 +87,7 @@ class ExpertParallelGroup:
             raise ValueError(
                 f"expected {self.num_workers} shards, got {len(shards)}"
             )
-        gate: TopKGate = self.layer.gate
+        gate = self.layer.gate  # TopKGate or ExpertChoiceGate
         experts: Experts = self.layer.experts
         num_experts = gate.num_experts
         model_dim = self.layer.model_dim
@@ -111,9 +110,10 @@ class ExpertParallelGroup:
 
         # Dispatch: worker w builds, for each expert e, its (C, M)
         # capacity-padded buffer — the block it sends to e's owner.
-        # Sparse gate outputs fill the buffers by direct index
+        # Sparse gate outputs (token-major top-k and flat
+        # expert-choice alike) fill the buffers by direct index
         # assignment (each (expert, slot) holds at most one token);
-        # dense-only gates (expert-choice) use the reference einsum.
+        # the dense mode uses the reference einsum.
         sparse = self.layer.dispatch_mode == "sparse"
         send_blocks = []  # [w][e] -> (C_w, M)
         for w in workers:
@@ -123,7 +123,7 @@ class ExpertParallelGroup:
                 blocks = np.zeros(
                     (num_experts, out.capacity, model_dim), dtype=np.float32
                 )
-                t_ids, _, e_ids, s_ids = out._kept_coords()
+                t_ids, e_ids, s_ids, _ = out._kept_coords()
                 blocks[e_ids, s_ids] = tokens[t_ids]
             else:
                 blocks = np.einsum(
@@ -171,8 +171,8 @@ class ExpertParallelGroup:
                 for expert, out in outbox[owner][w].items():
                     expert_out[expert] = out
             if sparse and gate_out.has_sparse:
-                t_ids, c_ids, e_ids, s_ids = gate_out._kept_coords()
-                w_sel = gate_out.gate_weights.data[t_ids, c_ids]
+                t_ids, e_ids, s_ids, w_idx = gate_out._kept_coords()
+                w_sel = gate_out.gate_weights.data[w_idx]
                 merged = np.zeros((num_tokens, model_dim), dtype=np.float32)
                 np.add.at(
                     merged, t_ids, w_sel[:, None] * expert_out[e_ids, s_ids]

@@ -425,7 +425,10 @@ def gather(x: Tensor, indices: np.ndarray, axis: int = 0) -> Tensor:
 
 
 def scatter_add(
-    values: Tensor, indices: np.ndarray, num_rows: int
+    values: Tensor,
+    indices: np.ndarray,
+    num_rows: int,
+    unique_indices: bool = False,
 ) -> Tensor:
     """Differentiable scatter-add of rows into a zero tensor.
 
@@ -434,6 +437,14 @@ def scatter_add(
     the output not named by any index stay zero (capacity padding in
     the MoE dispatch).  The backward pass is a gather of the output
     gradient at the same indices — the exact adjoint.
+
+    ``unique_indices`` is a caller promise that no index repeats, in
+    which case the accumulating ``np.add.at`` (slow: it cannot
+    vectorize because of potential collisions) is replaced by a plain
+    fancy-index store.  MoE dispatch destinations
+    (``expert * capacity + slot``) hold at most one token each, so the
+    hot path qualifies.  The promise is trusted, not checked: with
+    duplicate indices the fast path keeps only the last write.
     """
     values = Tensor._lift(values)
     idx = np.asarray(indices)
@@ -452,7 +463,10 @@ def scatter_add(
             f"[{idx.min()}, {idx.max()}]"
         )
     out = np.zeros((num_rows,) + values.shape[1:], dtype=np.float32)
-    np.add.at(out, idx, values.data)
+    if unique_indices:
+        out[idx] = values.data
+    else:
+        np.add.at(out, idx, values.data)
 
     def backward(g):
         return ((values, g[idx]),)

@@ -152,19 +152,33 @@ def breakdown_from_dict(record: dict) -> StepBreakdown:
 
 
 class SweepCache:
-    """A JSON file of ``task_key -> StepBreakdown record``."""
+    """A JSON file of ``task_key -> StepBreakdown record``.
+
+    Safe for multiple concurrent writers sharing one path (e.g. two
+    bench processes both filling ``benchmarks/out/sweep_cache.json``):
+    :meth:`save` merges with whatever is on disk at write time instead
+    of blindly overwriting, so entries another writer saved since this
+    instance loaded are kept rather than lost.  Keys are content
+    hashes of the full task configuration and the simulator is
+    deterministic, so a key collision is by construction the identical
+    record — union is conflict-free.
+    """
 
     def __init__(self, path):
         self.path = Path(path)
-        self.entries: Dict[str, dict] = {}
+        self.entries: Dict[str, dict] = self._read_disk()
         self._dirty = False
-        if self.path.exists():
-            try:
-                blob = json.loads(self.path.read_text(encoding="utf-8"))
-            except (OSError, ValueError):
-                blob = {}
-            if blob.get("version") == CACHE_VERSION:
-                self.entries = blob.get("entries", {})
+
+    def _read_disk(self) -> Dict[str, dict]:
+        """Current on-disk entries (empty on corrupt/missing/stale)."""
+        try:
+            blob = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            blob = {}
+        if not isinstance(blob, dict) or blob.get("version") != CACHE_VERSION:
+            return {}
+        entries = blob.get("entries", {})
+        return entries if isinstance(entries, dict) else {}
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -177,12 +191,24 @@ class SweepCache:
         self._dirty = True
 
     def save(self) -> None:
+        """Merge-on-save: union with the file's current entries.
+
+        Re-reads the file immediately before the atomic tmp-replace
+        and writes the union, this instance's entries winning ties
+        (identical records anyway — see the class docstring).  Without
+        the merge, two interleaved writers exhibit a lost-update race:
+        read-once/write-all means the last save silently drops every
+        entry the other writer added in between.
+        """
         if not self._dirty:
             return
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        merged = self._read_disk()
+        merged.update(self.entries)
+        self.entries = merged
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
         tmp.write_text(
-            json.dumps({"version": CACHE_VERSION, "entries": self.entries}),
+            json.dumps({"version": CACHE_VERSION, "entries": merged}),
             encoding="utf-8",
         )
         tmp.replace(self.path)

@@ -152,3 +152,43 @@ def test_dispatch_sparse_rejects_shape_mismatch(rng):
     slot_idx = np.zeros((4, 1), dtype=np.int64)
     with pytest.raises(ValueError):
         dispatch_sparse(x, expert_idx, slot_idx, 4, 2)
+
+
+def test_flat_routing_requires_token_indices(rng):
+    x = Tensor(rng.standard_normal((4, 8)).astype(np.float32))
+    flat = np.zeros(3, dtype=np.int64)
+    with pytest.raises(ValueError, match="token_indices"):
+        dispatch_sparse(x, flat, flat, 4, 2)
+
+
+def test_flat_form_matches_token_major_form(rng):
+    """A (T, k) routing re-expressed flat routes identically."""
+    gate = TopKGate(8, 4, np.random.default_rng(3), top_k=2)
+    x = Tensor(
+        rng.standard_normal((10, 8)).astype(np.float32), requires_grad=True
+    )
+    out = gate(x.detach())
+
+    routed_tk = dispatch_sparse(
+        x, out.expert_indices, out.slot_indices, 4, out.capacity
+    )
+    # Flatten (T, k) row-major: token t repeats k times.
+    t_ids = np.repeat(np.arange(10), 2)
+    e_flat = out.expert_indices.reshape(-1)
+    s_flat = out.slot_indices.reshape(-1)
+    w_flat = out.gate_weights.reshape(-1)
+    routed_flat = dispatch_sparse(
+        x, e_flat, s_flat, 4, out.capacity, token_indices=t_ids
+    )
+    np.testing.assert_array_equal(routed_flat.data, routed_tk.data)
+
+    merged_tk = combine_sparse(
+        routed_tk, out.expert_indices, out.slot_indices,
+        out.gate_weights, 10,
+    )
+    merged_flat = combine_sparse(
+        routed_flat, e_flat, s_flat, w_flat, 10, token_indices=t_ids
+    )
+    np.testing.assert_allclose(
+        merged_flat.data, merged_tk.data, rtol=1e-6, atol=1e-7
+    )

@@ -137,6 +137,45 @@ def test_breakdown_roundtrip_with_oom():
     assert breakdown_to_dict(rebuilt) == record
 
 
+def test_interleaved_writers_lose_no_entries(tmp_path):
+    """Regression: SweepCache.save was read-once/write-all.
+
+    Two instances sharing one path (two bench processes filling
+    ``sweep_cache.json``) each load, put their own entries, and save;
+    the old last-writer-wins behaviour silently dropped everything
+    the other writer had saved in between.  Merge-on-save keeps the
+    union.
+    """
+    path = tmp_path / "cache.json"
+    a = SweepCache(path)  # both load the (empty) file up front
+    b = SweepCache(path)
+
+    a.put("key-a1", {"from": "a1"})
+    a.save()
+    # b never saw a's save; its in-memory view is still empty.
+    b.put("key-b1", {"from": "b1"})
+    b.save()
+    a.put("key-a2", {"from": "a2"})
+    a.save()
+
+    on_disk = json.loads(path.read_text())["entries"]
+    assert on_disk == {
+        "key-a1": {"from": "a1"},
+        "key-b1": {"from": "b1"},
+        "key-a2": {"from": "a2"},
+    }
+    # A fresh reader (and the last writer itself) sees the union.
+    assert len(SweepCache(path)) == 3
+    assert a.get("key-b1") == {"from": "b1"}
+
+
+def test_save_without_puts_is_a_noop(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = SweepCache(path)
+    cache.save()
+    assert not path.exists()
+
+
 def test_version_mismatch_discards_cache(tmp_path):
     cache_path = tmp_path / "cache.json"
     cache_path.write_text(
