@@ -53,10 +53,13 @@ def collect_a2a_tensors(model: Module) -> Dict[str, List[np.ndarray]]:
             continue
         if module.last_dispatched is not None:
             activations.append(module.last_dispatched)
-        for expert in module.experts.experts:
-            for param in (expert.fc1.weight, expert.fc2.weight):
-                if param.grad is not None:
-                    gradients.append(param.grad)
+        bank = module.experts
+        for param in (bank.w1, bank.w2):
+            if param.grad is not None:
+                # One entry per expert, as when experts were separate
+                # modules — SNR statistics are per-expert-weight.
+                for e in range(bank.num_experts):
+                    gradients.append(param.grad[e])
     return {"activations": activations, "gradients": gradients}
 
 

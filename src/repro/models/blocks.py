@@ -34,6 +34,7 @@ def make_ffn(
     capacity_factor: float = 1.0,
     compressor: Optional[Compressor] = None,
     activation: str = "relu",
+    expert_impl: Optional[str] = None,
 ) -> Module:
     """Dense fflayer or MoE layer, per the model variant."""
     if not moe:
@@ -47,6 +48,7 @@ def make_ffn(
         capacity_factor=capacity_factor,
         compressor=compressor,
         activation=activation,
+        expert_impl=expert_impl,
     )
 
 

@@ -36,6 +36,7 @@ class TransformerLM(Module):
         compressor: Optional[Compressor] = None,
         dropout: float = 0.0,
         seed: int = 0,
+        expert_impl: Optional[str] = None,
     ):
         super().__init__()
         rng = np.random.default_rng(seed)
@@ -58,6 +59,7 @@ class TransformerLM(Module):
                         top_k=top_k,
                         capacity_factor=capacity_factor,
                         compressor=compressor,
+                        expert_impl=expert_impl,
                     ),
                     rng,
                     causal=True,

@@ -38,6 +38,7 @@ class Seq2SeqTransformer(Module):
         dropout: float = 0.0,
         pad_id: int = 0,
         seed: int = 0,
+        expert_impl: Optional[str] = None,
     ):
         super().__init__()
         rng = np.random.default_rng(seed)
@@ -58,6 +59,7 @@ class Seq2SeqTransformer(Module):
                 top_k=top_k,
                 capacity_factor=capacity_factor,
                 compressor=compressor,
+                expert_impl=expert_impl,
             )
 
         self.encoder = ModuleList(

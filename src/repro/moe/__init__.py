@@ -13,7 +13,7 @@ from .dispatch import (
     dispatch,
     dispatch_sparse,
 )
-from .experts import Experts
+from .experts import EXPERT_IMPLS, Experts, default_expert_impl
 from .gating import (
     GateOutput,
     TopKGate,
@@ -26,8 +26,10 @@ from .parallel import A2ATraffic, ExpertParallelGroup
 __all__ = [
     "A2ATraffic",
     "DISPATCH_MODES",
+    "EXPERT_IMPLS",
     "ExpertParallelGroup",
     "Experts",
+    "default_expert_impl",
     "GateOutput",
     "MoELayer",
     "default_dispatch_mode",

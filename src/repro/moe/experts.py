@@ -1,19 +1,80 @@
-"""Expert banks: E independent feed-forward networks.
+"""Expert bank: E independent feed-forward networks, executed batched.
 
 The paper's ``AbsExpert``: experts are ordinary fflayers (two GEMMs),
-"fast enough" not to need customization but abstracted so the profiler
-can time them and the scheduler can split them into sub-tasks.
+abstracted so the profiler can time them, the scheduler can split them
+into sub-tasks — and so their execution strategy can be swapped.  This
+module stores the whole bank as *stacked* parameters
+
+* ``w1``: ``(E, M, H)``,  ``b1``: ``(E, 1, H)``
+* ``w2``: ``(E, H, M)``,  ``b2``: ``(E, 1, M)``
+
+and executes all E experts with two batched matmuls
+(:func:`~repro.nn.tensor.bmm`) instead of a Python loop over E
+per-expert modules — the grouped-GEMM move Megatron-Core and
+MegaBlocks make for exactly this loop-of-small-GEMMs pathology.
+
+Two execution strategies share the parameters:
+
+* ``expert_impl="batched"`` (default) — two ``bmm`` calls over the
+  bank, *occupancy-aware*: given the gate's per-expert slot counts,
+  only the occupied slot prefix ``[:max_fill]`` of the (E, C, M)
+  capacity buffer enters the GEMMs.  The remaining padding slots all
+  hold zero rows, whose FFN output is the closed-form "empty-slot
+  response" ``fc2(act(b1))`` — computed once per expert, (E, 1, M),
+  and broadcast.  GEMM FLOPs therefore scale with ``E * max_fill``
+  (~ the routed token count N under balanced routing) instead of
+  ``E * C``, while the output stays bit-identical to running the FFN
+  over every slot.
+* ``expert_impl="loop"`` — the reference: one expert at a time over
+  its full capacity slice, Python-level, kept selectable for parity
+  testing (`tests/moe/test_expert_bank.py` asserts bit-equal forwards
+  and matching gradients).
+
+Slot occupancy is a prefix by construction: every gate assigns
+capacity slots FCFS from slot 0, so expert e's occupied slots are
+exactly ``[0, fill_e)`` — ``GateOutput.expert_load`` is that fill.
 """
 
 from __future__ import annotations
 
-from typing import List
+from contextlib import contextmanager
+from typing import List, Optional
 
 import numpy as np
 
 from ..nn import functional as F
-from ..nn.modules import FeedForward, Module, ModuleList
-from ..nn.tensor import Tensor, stack
+from ..nn.init import xavier_uniform
+from ..nn.modules import Module, Parameter
+from ..nn.tensor import Tensor, bmm, concatenate, stack
+
+#: Valid values of the ``expert_impl`` switch.
+EXPERT_IMPLS = ("batched", "loop")
+
+_default_expert_impl = "batched"
+
+
+@contextmanager
+def default_expert_impl(impl: str):
+    """Temporarily change the process-wide default ``expert_impl``.
+
+    Mirrors :func:`~repro.moe.layer.default_dispatch_mode`: banks built
+    with ``expert_impl=None`` inside the block pick up ``impl``; an
+    explicit argument still wins.  The convergence study uses this to
+    pin its chaotic trajectories to the loop reference numerics (the
+    batched backward reassociates reductions, so gradients match only
+    to ~1e-6 — enough to shift a 600-step training run).
+    """
+    global _default_expert_impl
+    if impl not in EXPERT_IMPLS:
+        raise ValueError(
+            f"unknown expert_impl {impl!r}; expected one of {EXPERT_IMPLS}"
+        )
+    previous = _default_expert_impl
+    _default_expert_impl = impl
+    try:
+        yield
+    finally:
+        _default_expert_impl = previous
 
 
 class Experts(Module):
@@ -26,28 +87,122 @@ class Experts(Module):
         hidden_dim: int,
         rng: np.random.Generator,
         activation: str = "relu",
+        expert_impl: Optional[str] = None,
     ):
         super().__init__()
         if num_experts < 1:
             raise ValueError(f"num_experts must be >= 1, got {num_experts}")
+        if activation not in ("relu", "gelu"):
+            raise ValueError(f"unsupported activation {activation!r}")
+        if expert_impl is None:
+            expert_impl = _default_expert_impl
+        if expert_impl not in EXPERT_IMPLS:
+            raise ValueError(
+                f"unknown expert_impl {expert_impl!r}; "
+                f"expected one of {EXPERT_IMPLS}"
+            )
         self.num_experts = num_experts
         self.model_dim = model_dim
         self.hidden_dim = hidden_dim
-        self.experts = ModuleList(
-            [
-                FeedForward(model_dim, hidden_dim, rng, activation=activation)
-                for _ in range(num_experts)
-            ]
-        )
+        self.activation = activation
+        self.expert_impl = expert_impl
+        # Draw per-expert weights in the exact rng order the historical
+        # per-expert FeedForward construction used (fc1 then fc2, one
+        # expert at a time), so seeded models are bit-identical to
+        # those built before the stacked layout existed.
+        w1 = np.empty((num_experts, model_dim, hidden_dim), dtype=np.float32)
+        w2 = np.empty((num_experts, hidden_dim, model_dim), dtype=np.float32)
+        for e in range(num_experts):
+            w1[e] = xavier_uniform(rng, model_dim, hidden_dim)
+            w2[e] = xavier_uniform(rng, hidden_dim, model_dim)
+        self.w1 = Parameter(w1)
+        self.b1 = Parameter(np.zeros((num_experts, 1, hidden_dim), np.float32))
+        self.w2 = Parameter(w2)
+        self.b2 = Parameter(np.zeros((num_experts, 1, model_dim), np.float32))
 
-    def forward(self, dispatched: Tensor) -> Tensor:
-        """Apply expert e to slice (e, :, :); returns (E, C, M)."""
-        if dispatched.ndim != 3 or dispatched.shape[0] != self.num_experts:
-            raise ValueError(
-                f"expected ({self.num_experts}, C, M) input, got "
-                f"{dispatched.shape}"
+    def _act(self, x: Tensor) -> Tensor:
+        return F.relu(x) if self.activation == "relu" else F.gelu(x)
+
+    def run_expert(self, expert: int, x: Tensor) -> Tensor:
+        """Apply one expert's FFN to a (rows, M) tensor.
+
+        Used by :class:`~repro.moe.parallel.ExpertParallelGroup`, where
+        each worker computes only the expert blocks it received, and by
+        the loop reference path.  Gradients flow into the stacked
+        parameters through the slice.
+        """
+        if not 0 <= expert < self.num_experts:
+            raise IndexError(
+                f"expert {expert} out of range [0, {self.num_experts})"
             )
-        outputs: List[Tensor] = []
-        for e, expert in enumerate(self.experts):
-            outputs.append(expert(dispatched[e]))
-        return stack(outputs, axis=0)
+        h = self._act(x @ self.w1[expert] + self.b1[expert])
+        return h @ self.w2[expert] + self.b2[expert]
+
+    def empty_slot_response(self) -> Tensor:
+        """Each expert's FFN output for an all-zero input row, (E, 1, M).
+
+        A zero row through ``x @ w1 + b1`` is exactly ``b1``, so the
+        response is ``fc2(act(b1))`` — the value every padding slot of
+        the capacity buffer produces.  The batched path broadcasts
+        this instead of paying GEMM FLOPs for rows known to be zero.
+        """
+        return bmm(self._act(self.b1), self.w2) + self.b2
+
+    def _validate(self, dispatched: Tensor) -> None:
+        if (
+            dispatched.ndim != 3
+            or dispatched.shape[0] != self.num_experts
+            or dispatched.shape[2] != self.model_dim
+        ):
+            raise ValueError(
+                f"expected ({self.num_experts}, C, {self.model_dim}) "
+                f"input, got {dispatched.shape}"
+            )
+
+    def forward(
+        self,
+        dispatched: Tensor,
+        expert_load: Optional[np.ndarray] = None,
+    ) -> Tensor:
+        """Apply expert e to slice (e, :, :); returns (E, C, M).
+
+        ``expert_load`` (optional) is the gate's per-expert occupied
+        slot count — ``GateOutput.expert_load``.  With it, the batched
+        path runs the GEMMs only over the occupied slot prefix and
+        broadcasts the closed-form empty-slot response into the rest;
+        without it, every slot goes through the GEMMs.  Outputs are
+        bit-identical either way.
+        """
+        self._validate(dispatched)
+        if self.expert_impl == "loop":
+            outputs: List[Tensor] = []
+            for e in range(self.num_experts):
+                outputs.append(self.run_expert(e, dispatched[e]))
+            return stack(outputs, axis=0)
+
+        capacity = dispatched.shape[1]
+        active = capacity
+        if expert_load is not None and capacity > 0:
+            fill = np.asarray(expert_load)
+            if fill.shape != (self.num_experts,):
+                raise ValueError(
+                    f"expert_load must be ({self.num_experts},), "
+                    f"got {fill.shape}"
+                )
+            active = int(min(max(fill.max(initial=0), 0), capacity))
+
+        body = dispatched if active == capacity else dispatched[:, :active]
+        h = self._act(bmm(body, self.w1) + self.b1)
+        out = bmm(h, self.w2) + self.b2
+        if active == capacity:
+            return out
+        # Padding slots: all-zero rows, filled by broadcasting the
+        # (E, 1, M) empty-slot response (adding a zero tensor of the
+        # target shape broadcasts differentiably — the backward sums
+        # the padding slots' gradient back into b1/w2/b2, exactly as
+        # running the FFN on each zero row would).
+        pad_shape = (self.num_experts, capacity - active, self.model_dim)
+        padding = self.empty_slot_response() + Tensor(
+            np.zeros(pad_shape, dtype=np.float32)
+        )
+        return concatenate([out, padding], axis=1)

@@ -35,7 +35,7 @@ from .dispatch import (
     dispatch,
     dispatch_sparse,
 )
-from .experts import Experts
+from .experts import EXPERT_IMPLS, Experts
 from .gating import GateOutput, TopKGate
 
 #: Backend used when ``MoELayer(dispatch_mode=None)`` — see
@@ -83,6 +83,15 @@ class MoELayer(Module):
     ``(T, k)`` indices, expert-choice flat ``(N,)`` indices, and the
     sparse backend consumes either, so the dense path is a pure
     reference semantics, never a fallback.
+
+    ``expert_impl`` selects the expert bank's execution strategy
+    (:mod:`repro.moe.experts`): ``"batched"`` (default) runs all E
+    experts as two batched matmuls over the occupied slot prefix —
+    the gate's per-expert fill counts bound the GEMMs — while
+    ``"loop"`` is the per-expert reference loop.  Outputs are
+    bit-identical.  ``None`` (the default) defers to the ambient
+    process default, overridable with
+    :func:`~repro.moe.experts.default_expert_impl`.
     """
 
     def __init__(
@@ -98,6 +107,7 @@ class MoELayer(Module):
         gate_noise_std: float = 0.0,
         gate_type: str = "topk",
         dispatch_mode: Optional[str] = None,
+        expert_impl: Optional[str] = None,
     ):
         super().__init__()
         if dispatch_mode is None:
@@ -134,7 +144,12 @@ class MoELayer(Module):
                 "expected 'topk' or 'expert-choice'"
             )
         self.experts = Experts(
-            num_experts, model_dim, hidden_dim, rng, activation=activation
+            num_experts,
+            model_dim,
+            hidden_dim,
+            rng,
+            activation=activation,
+            expert_impl=expert_impl,
         )
         self.compressor = compressor
         #: Auxiliary load-balancing loss of the most recent forward.
@@ -189,7 +204,7 @@ class MoELayer(Module):
             dispatched = dispatch(tokens, gate_out.dispatch_mask)
         self.last_dispatched = dispatched.data
         dispatched = self._transport(dispatched)  # first A2A
-        expert_out = self.experts(dispatched)
+        expert_out = self.experts(dispatched, expert_load=gate_out.expert_load)
         expert_out = self._transport(expert_out)  # second A2A
         if sparse:
             merged = combine_sparse(

@@ -151,8 +151,7 @@ class ExpertParallelGroup:
             for src in workers:
                 results = {}
                 for expert, block in inbox[w][src].items():
-                    local = experts.experts[expert]
-                    out = local(Tensor(block)).data
+                    out = experts.run_expert(expert, Tensor(block)).data
                     results[expert] = self._apply_codec(out)
                     combine_traffic[w, src] += results[expert].nbytes
                 outbox[w][src] = results

@@ -22,9 +22,15 @@ from .modules import (
     Sequential,
 )
 from .optim import SGD, Adam, Optimizer, WarmupInverseSqrt, clip_grad_norm
-from .serialization import load_checkpoint, save_checkpoint
+from .serialization import (
+    load_checkpoint,
+    save_checkpoint,
+    stack_expert_state,
+    unstack_expert_state,
+)
 from .tensor import (
     Tensor,
+    bmm,
     concatenate,
     einsum,
     gather,
@@ -48,6 +54,7 @@ __all__ = [
     "SGD",
     "Sequential",
     "Tensor",
+    "bmm",
     "WarmupInverseSqrt",
     "clip_grad_norm",
     "concatenate",
@@ -60,6 +67,8 @@ __all__ = [
     "save_checkpoint",
     "scatter_add",
     "stack",
+    "stack_expert_state",
+    "unstack_expert_state",
     "where",
     "xavier_uniform",
 ]

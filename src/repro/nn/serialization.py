@@ -1,8 +1,22 @@
-"""Model checkpointing: save/load state dicts as .npz archives."""
+"""Model checkpointing: save/load state dicts as .npz archives.
+
+Checkpoints store MoE expert parameters in the *stacked* bank layout
+(``<bank>.w1`` (E, M, H), ``<bank>.b1`` (E, 1, H), ``<bank>.w2``
+(E, H, M), ``<bank>.b2`` (E, 1, M)) matching
+:class:`~repro.moe.experts.Experts`.  Checkpoints written before the
+bank existed used one FeedForward module per expert
+(``<bank>.experts.items.<i>.fc{1,2}.{weight,bias}``);
+:func:`load_checkpoint` upgrades that layout transparently, and
+:func:`save_checkpoint` can still emit it (``expert_layout=
+"per-expert"``) for tools pinned to the old key schema.  The
+conversion is key-pattern based — it needs no model, only the state
+dict — so both directions round-trip exactly.
+"""
 
 from __future__ import annotations
 
 import json
+import re
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
@@ -13,18 +27,127 @@ from .modules import Module
 #: Reserved archive key holding JSON metadata.
 _META_KEY = "__checkpoint_meta__"
 
+#: Legacy per-expert parameter key:
+#: ``<bank>.experts.items.<i>.fc{1,2}.{weight,bias}`` (the old Experts
+#: held a ModuleList of FeedForwards in its ``experts`` attribute).
+_LEGACY_EXPERT_RE = re.compile(
+    r"^(?:(?P<bank>.+)\.)?experts\.items\.(?P<idx>\d+)"
+    r"\.fc(?P<fc>[12])\.(?P<kind>weight|bias)$"
+)
+
+#: (fc index, weight|bias) -> stacked parameter name.
+_STACKED_NAMES = {
+    ("1", "weight"): "w1",
+    ("1", "bias"): "b1",
+    ("2", "weight"): "w2",
+    ("2", "bias"): "b2",
+}
+
+#: Valid ``expert_layout`` values for :func:`save_checkpoint`.
+EXPERT_LAYOUTS = ("stacked", "per-expert")
+
+
+def stack_expert_state(
+    state: Dict[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Upgrade legacy per-expert FFN keys to the stacked bank layout.
+
+    Non-expert keys pass through untouched; a state dict already in
+    stacked layout is returned unchanged (a fresh dict, same arrays).
+    Raises ``KeyError`` if a bank's expert indices have gaps.
+    """
+    out = {
+        key: value
+        for key, value in state.items()
+        if not _LEGACY_EXPERT_RE.match(key)
+    }
+    groups: Dict[tuple, Dict[int, np.ndarray]] = {}
+    for key, value in state.items():
+        match = _LEGACY_EXPERT_RE.match(key)
+        if not match:
+            continue
+        name = _STACKED_NAMES[(match["fc"], match["kind"])]
+        groups.setdefault((match["bank"], name), {})[int(match["idx"])] = (
+            np.asarray(value)
+        )
+    for (bank, name), parts in groups.items():
+        indices = sorted(parts)
+        if indices != list(range(len(indices))):
+            raise KeyError(
+                f"expert bank {bank or '<root>'}.{name}: "
+                f"non-contiguous expert indices {indices}"
+            )
+        slabs = [parts[i] for i in indices]
+        if name in ("b1", "b2"):  # (H,) -> (1, H) per expert
+            slabs = [s.reshape(1, -1) for s in slabs]
+        stacked_key = f"{bank}.{name}" if bank else name
+        out[stacked_key] = np.stack(slabs, axis=0)
+    return out
+
+
+def unstack_expert_state(
+    state: Dict[str, np.ndarray]
+) -> Dict[str, np.ndarray]:
+    """Convert stacked expert banks back to legacy per-expert keys.
+
+    A bank is recognised by the complete w1/b1/w2/b2 quartet with
+    consistent (E, M, H) shapes; anything else passes through
+    untouched.  Inverse of :func:`stack_expert_state`.
+    """
+    out = dict(state)
+    for key in list(state):
+        if key != "w1" and not key.endswith(".w1"):
+            continue
+        base = key[: -len("w1")]  # "" or "<bank>."
+        names = {n: base + n for n in ("w1", "b1", "w2", "b2")}
+        if not all(n in state for n in names.values()):
+            continue
+        w1 = np.asarray(state[names["w1"]])
+        b1 = np.asarray(state[names["b1"]])
+        w2 = np.asarray(state[names["w2"]])
+        b2 = np.asarray(state[names["b2"]])
+        if w1.ndim != 3 or w2.ndim != 3:
+            continue
+        num_experts, model_dim, hidden_dim = w1.shape
+        if (
+            w2.shape != (num_experts, hidden_dim, model_dim)
+            or b1.shape != (num_experts, 1, hidden_dim)
+            or b2.shape != (num_experts, 1, model_dim)
+        ):
+            continue
+        for e in range(num_experts):
+            prefix = f"{base}experts.items.{e}"
+            out[f"{prefix}.fc1.weight"] = w1[e]
+            out[f"{prefix}.fc1.bias"] = b1[e, 0]
+            out[f"{prefix}.fc2.weight"] = w2[e]
+            out[f"{prefix}.fc2.bias"] = b2[e, 0]
+        for name in names.values():
+            del out[name]
+    return out
+
 
 def save_checkpoint(
     model: Module,
     path: Union[str, Path],
     metadata: Optional[Dict[str, Any]] = None,
+    expert_layout: str = "stacked",
 ) -> None:
     """Write a model's parameters (and optional JSON metadata) to disk.
 
     Parameter names may contain dots; they are stored verbatim as npz
     entries.  ``metadata`` must be JSON-serializable.
+    ``expert_layout="per-expert"`` writes MoE expert banks in the
+    legacy one-FeedForward-per-expert key schema instead of the
+    stacked default.
     """
+    if expert_layout not in EXPERT_LAYOUTS:
+        raise ValueError(
+            f"unknown expert_layout {expert_layout!r}; "
+            f"expected one of {EXPERT_LAYOUTS}"
+        )
     state = model.state_dict()
+    if expert_layout == "per-expert":
+        state = unstack_expert_state(state)
     if _META_KEY in state:
         raise ValueError(f"parameter name {_META_KEY!r} is reserved")
     payload = dict(state)
@@ -43,7 +166,9 @@ def load_checkpoint(
     """Load parameters saved by :func:`save_checkpoint` into ``model``.
 
     Returns the stored metadata dict.  Raises on any name or shape
-    mismatch (strict loading).
+    mismatch (strict loading).  Checkpoints written in the legacy
+    per-expert layout are upgraded to the stacked bank layout before
+    loading, so old archives load into current models unchanged.
     """
     path = Path(path)
     if not path.exists():
@@ -55,5 +180,5 @@ def load_checkpoint(
             for name in archive.files
             if name != _META_KEY
         }
-    model.load_state_dict(state)
+    model.load_state_dict(stack_expert_state(state))
     return json.loads(meta_raw)

@@ -8,8 +8,9 @@ schedulers build on cached per-task performance models instead of
 re-measuring everything:
 
 * **caching** — every simulated step is stored under a content hash of
-  its full configuration in a JSON file, so a re-run of a sweep (or a
-  different sweep sharing points) replays from disk in milliseconds;
+  its full configuration in an append-friendly JSONL file, so a re-run
+  of a sweep (or a different sweep sharing points) replays from disk
+  in milliseconds;
 * **parallelism** — cache misses are partitioned into chunks executed
   by a ``multiprocessing`` pool, each worker holding its own
   :class:`~repro.systems.runner.SystemRunner` so profiler measurements
@@ -151,35 +152,121 @@ def breakdown_from_dict(record: dict) -> StepBreakdown:
     )
 
 
-class SweepCache:
-    """A JSON file of ``task_key -> StepBreakdown record``.
+#: First-line marker of the JSONL cache format.
+CACHE_FORMAT = "sweep-cache-jsonl"
 
-    Safe for multiple concurrent writers sharing one path (e.g. two
-    bench processes both filling ``benchmarks/out/sweep_cache.json``):
-    :meth:`save` merges with whatever is on disk at write time instead
-    of blindly overwriting, so entries another writer saved since this
-    instance loaded are kept rather than lost.  Keys are content
-    hashes of the full task configuration and the simulator is
-    deterministic, so a key collision is by construction the identical
-    record — union is conflict-free.
+
+class SweepCache:
+    """A JSONL file of ``task_key -> StepBreakdown record``.
+
+    Layout: a header line ``{"version": ..., "format":
+    "sweep-cache-jsonl"}`` followed by one ``{"key": ..., "record":
+    ...}`` entry per line.  :meth:`save` *appends* only the entries
+    put since the last save — a sweep adding 10 points to a 10k-entry
+    cache writes 10 lines, not the whole file — and concurrent writers
+    sharing one path (e.g. two bench processes both filling
+    ``benchmarks/out/sweep_cache.json``) interleave appends without a
+    read-merge-write race window: no writer ever rewrites another's
+    lines.  Keys are content hashes of the full task configuration and
+    the simulator is deterministic, so a duplicate key is by
+    construction the identical record; loading keeps the last
+    occurrence and compacts the file (atomic tmp+replace) when it
+    finds duplicates or the pre-JSONL single-document format.  A
+    torn trailing line (a writer killed mid-append) is skipped, not
+    fatal.
     """
 
     def __init__(self, path):
         self.path = Path(path)
-        self.entries: Dict[str, dict] = self._read_disk()
-        self._dirty = False
+        self._pending: Dict[str, dict] = {}
+        self.entries, needs_compaction = self._read_disk()
+        if needs_compaction and self.entries:
+            try:
+                self._write_all(self.entries)
+            except OSError:
+                pass  # read-only location: serve entries from memory
 
-    def _read_disk(self) -> Dict[str, dict]:
-        """Current on-disk entries (empty on corrupt/missing/stale)."""
+    # -- on-disk format ------------------------------------------------------
+    @staticmethod
+    def _entry_line(key: str, record: dict) -> str:
+        return json.dumps({"key": key, "record": record}) + "\n"
+
+    def _read_disk(self) -> Tuple[Dict[str, dict], bool]:
+        """-> (entries, needs_compaction).
+
+        Empty on missing/corrupt/stale-version files.  Compaction is
+        requested when the file is legacy single-document JSON or
+        contains duplicate keys.
+        """
         try:
-            blob = json.loads(self.path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            blob = {}
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return {}, False
+        lines = text.splitlines()
+        try:
+            head = json.loads(lines[0]) if lines else None
+        except ValueError:
+            head = None
+        if isinstance(head, dict) and head.get("format") == CACHE_FORMAT:
+            if head.get("version") != CACHE_VERSION:
+                return {}, False
+            entries: Dict[str, dict] = {}
+            duplicates = False
+            for line in lines[1:]:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                except ValueError:
+                    continue  # torn/partial append
+                if not isinstance(obj, dict):
+                    continue
+                key, record = obj.get("key"), obj.get("record")
+                if not isinstance(key, str) or not isinstance(record, dict):
+                    continue
+                duplicates |= key in entries
+                entries[key] = record
+            return entries, duplicates
+        # Legacy format: one JSON document {"version": .., "entries": ..}.
+        try:
+            blob = json.loads(text)
+        except ValueError:
+            return {}, False
         if not isinstance(blob, dict) or blob.get("version") != CACHE_VERSION:
-            return {}
-        entries = blob.get("entries", {})
-        return entries if isinstance(entries, dict) else {}
+            return {}, False
+        legacy = blob.get("entries", {})
+        if not isinstance(legacy, dict):
+            return {}, False
+        return legacy, True  # migrate to JSONL
 
+    def _has_header(self) -> bool:
+        """Whether the on-disk file starts with a current JSONL header."""
+        try:
+            with self.path.open("r", encoding="utf-8") as fh:
+                head = json.loads(fh.readline())
+        except (OSError, ValueError):
+            return False
+        return (
+            isinstance(head, dict)
+            and head.get("format") == CACHE_FORMAT
+            and head.get("version") == CACHE_VERSION
+        )
+
+    def _write_all(self, entries: Dict[str, dict]) -> None:
+        """Atomically rewrite the whole file (header + every entry)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with tmp.open("w", encoding="utf-8") as fh:
+            fh.write(
+                json.dumps({"version": CACHE_VERSION, "format": CACHE_FORMAT})
+                + "\n"
+            )
+            for key, record in entries.items():
+                fh.write(self._entry_line(key, record))
+        tmp.replace(self.path)
+
+    # -- the cache interface -------------------------------------------------
     def __len__(self) -> int:
         return len(self.entries)
 
@@ -188,31 +275,36 @@ class SweepCache:
 
     def put(self, key: str, record: dict) -> None:
         self.entries[key] = record
-        self._dirty = True
+        self._pending[key] = record
 
     def save(self) -> None:
-        """Merge-on-save: union with the file's current entries.
+        """Persist entries put since the last save, by appending.
 
-        Re-reads the file immediately before the atomic tmp-replace
-        and writes the union, this instance's entries winning ties
-        (identical records anyway — see the class docstring).  Without
-        the merge, two interleaved writers exhibit a lost-update race:
-        read-once/write-all means the last save silently drops every
-        entry the other writer added in between.
+        When the on-disk file already carries the JSONL header, this
+        is a pure append of the pending lines.  Otherwise (fresh path,
+        or the file was replaced by a legacy/corrupt/stale document
+        after load) the whole cache is rewritten atomically, unioned
+        with whatever valid entries the file holds at write time.
         """
-        if not self._dirty:
+        if not self._pending:
             return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        merged = self._read_disk()
-        merged.update(self.entries)
-        self.entries = merged
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        tmp.write_text(
-            json.dumps({"version": CACHE_VERSION, "entries": merged}),
-            encoding="utf-8",
-        )
-        tmp.replace(self.path)
-        self._dirty = False
+        if self._has_header():
+            with self.path.open("r+", encoding="utf-8") as fh:
+                fh.seek(0, os.SEEK_END)
+                if fh.tell() > 0:
+                    fh.seek(fh.tell() - 1)
+                    if fh.read(1) != "\n":
+                        # A torn append left no trailing newline; start
+                        # a fresh line so ours stays parseable.
+                        fh.write("\n")
+                for key, record in self._pending.items():
+                    fh.write(self._entry_line(key, record))
+        else:
+            merged, _ = self._read_disk()
+            merged.update(self.entries)
+            self.entries = merged
+            self._write_all(merged)
+        self._pending.clear()
 
 
 # -- execution ---------------------------------------------------------------

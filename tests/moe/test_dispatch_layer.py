@@ -58,10 +58,12 @@ def test_experts_apply_independently(rng):
     out = experts(Tensor(x))
     assert out.shape == (2, 3, 4)
     # Expert 0 on expert-1's slice != expert 1 on expert-1's slice.
-    alt = experts.experts[0](Tensor(x[1]))
+    alt = experts.run_expert(0, Tensor(x[1]))
     assert not np.allclose(alt.data, out.data[1])
     with pytest.raises(ValueError):
         experts(Tensor(np.zeros((3, 3, 4))))
+    with pytest.raises(ValueError):  # wrong trailing model dim
+        experts(Tensor(np.zeros((2, 3, 5))))
 
 
 def test_moe_layer_shapes_2d_and_3d(rng):

@@ -24,10 +24,22 @@ from repro.systems import (
     tutel,
 )
 from repro.systems.sweep import (
+    CACHE_FORMAT,
     CACHE_VERSION,
     breakdown_from_dict,
     breakdown_to_dict,
 )
+
+
+def read_cache_file(path):
+    """Parse a JSONL cache file -> (header dict, entries dict)."""
+    lines = path.read_text().splitlines()
+    header = json.loads(lines[0])
+    entries = {}
+    for line in lines[1:]:
+        obj = json.loads(line)
+        entries[obj["key"]] = obj["record"]
+    return header, entries
 
 
 @pytest.fixture
@@ -67,9 +79,9 @@ def test_warm_cache_replays_identically(tasks, tmp_path):
     cold = run_sweep(tasks, spec, cache_path=cache_path, processes=1)
     assert cache_path.exists()
 
-    blob = json.loads(cache_path.read_text())
-    assert blob["version"] == CACHE_VERSION
-    assert len(blob["entries"]) == len(tasks)
+    header, entries = read_cache_file(cache_path)
+    assert header == {"version": CACHE_VERSION, "format": CACHE_FORMAT}
+    assert len(entries) == len(tasks)
 
     # Poison the simulator-visible spec? No — simpler: the warm run
     # must not simulate at all, which we observe via the cache file
@@ -138,13 +150,11 @@ def test_breakdown_roundtrip_with_oom():
 
 
 def test_interleaved_writers_lose_no_entries(tmp_path):
-    """Regression: SweepCache.save was read-once/write-all.
+    """Two writers sharing one path never drop each other's entries.
 
-    Two instances sharing one path (two bench processes filling
-    ``sweep_cache.json``) each load, put their own entries, and save;
-    the old last-writer-wins behaviour silently dropped everything
-    the other writer had saved in between.  Merge-on-save keeps the
-    union.
+    Appends interleave: no save ever rewrites another writer's lines,
+    so there is no read-merge-write race window at all (the original
+    bug was a read-once/write-all lost update).
     """
     path = tmp_path / "cache.json"
     a = SweepCache(path)  # both load the (empty) file up front
@@ -158,15 +168,77 @@ def test_interleaved_writers_lose_no_entries(tmp_path):
     a.put("key-a2", {"from": "a2"})
     a.save()
 
-    on_disk = json.loads(path.read_text())["entries"]
+    _, on_disk = read_cache_file(path)
     assert on_disk == {
         "key-a1": {"from": "a1"},
         "key-b1": {"from": "b1"},
         "key-a2": {"from": "a2"},
     }
-    # A fresh reader (and the last writer itself) sees the union.
+    # A fresh reader sees the union.
     assert len(SweepCache(path)) == 3
-    assert a.get("key-b1") == {"from": "b1"}
+
+
+def test_save_appends_instead_of_rewriting(tmp_path):
+    """A second save only appends — earlier lines stay byte-identical."""
+    path = tmp_path / "cache.json"
+    cache = SweepCache(path)
+    cache.put("k1", {"n": 1})
+    cache.save()
+    before = path.read_bytes()
+    cache.put("k2", {"n": 2})
+    cache.save()
+    after = path.read_bytes()
+    assert after.startswith(before)
+    assert len(after.splitlines()) == len(before.splitlines()) + 1
+
+
+def test_legacy_json_cache_migrates_to_jsonl(tmp_path):
+    """Pre-JSONL single-document caches load and compact in place."""
+    path = tmp_path / "cache.json"
+    path.write_text(
+        json.dumps(
+            {"version": CACHE_VERSION, "entries": {"old-key": {"n": 7}}}
+        )
+    )
+    cache = SweepCache(path)
+    assert cache.get("old-key") == {"n": 7}
+    # The file itself was compacted to the JSONL layout on load.
+    header, entries = read_cache_file(path)
+    assert header["format"] == CACHE_FORMAT
+    assert entries == {"old-key": {"n": 7}}
+
+
+def test_torn_trailing_line_is_skipped(tmp_path):
+    """A writer killed mid-append leaves a partial line, not a loss."""
+    path = tmp_path / "cache.json"
+    cache = SweepCache(path)
+    cache.put("whole", {"n": 1})
+    cache.save()
+    with path.open("a") as fh:
+        fh.write('{"key": "torn", "rec')  # no newline, no close
+    reloaded = SweepCache(path)
+    assert len(reloaded) == 1
+    assert reloaded.get("whole") == {"n": 1}
+    # And the survivor can keep appending past the torn line.
+    reloaded.put("next", {"n": 2})
+    reloaded.save()
+    assert len(SweepCache(path)) == 2
+
+
+def test_duplicate_keys_compact_on_load(tmp_path):
+    """Interleaved writers may append the same key twice; the loader
+    keeps the last occurrence and compacts the file."""
+    path = tmp_path / "cache.json"
+    cache = SweepCache(path)
+    cache.put("dup", {"n": 1})
+    cache.save()
+    with path.open("a") as fh:
+        fh.write(json.dumps({"key": "dup", "record": {"n": 2}}) + "\n")
+    reloaded = SweepCache(path)
+    assert reloaded.get("dup") == {"n": 2}
+    _, entries = read_cache_file(path)
+    assert entries == {"dup": {"n": 2}}
+    assert len(path.read_text().splitlines()) == 2  # header + 1 entry
 
 
 def test_save_without_puts_is_a_noop(tmp_path):
@@ -182,6 +254,14 @@ def test_version_mismatch_discards_cache(tmp_path):
         json.dumps({"version": CACHE_VERSION + 1, "entries": {"k": {}}})
     )
     assert len(SweepCache(cache_path)) == 0
+    # Same for a stale JSONL header.
+    cache_path.write_text(
+        json.dumps({"version": CACHE_VERSION + 1, "format": CACHE_FORMAT})
+        + "\n"
+        + json.dumps({"key": "k", "record": {}})
+        + "\n"
+    )
+    assert len(SweepCache(cache_path)) == 0
 
 
 def test_corrupt_cache_ignored(tmp_path):
@@ -194,4 +274,6 @@ def test_corrupt_cache_ignored(tmp_path):
         cache_path=cache_path,
         processes=1,
     )
-    assert json.loads(cache_path.read_text())["version"] == CACHE_VERSION
+    header, entries = read_cache_file(cache_path)
+    assert header["version"] == CACHE_VERSION
+    assert len(entries) == 1
