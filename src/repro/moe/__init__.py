@@ -8,12 +8,20 @@ the models and the Table 6 convergence experiments.  The distributed
 
 from .dispatch import (
     DISPATCH_MODES,
+    GroupedRouting,
     combine,
+    combine_grouped,
     combine_sparse,
     dispatch,
+    dispatch_grouped,
     dispatch_sparse,
 )
-from .experts import EXPERT_IMPLS, Experts, default_expert_impl
+from .experts import (
+    EXPERT_IMPLS,
+    Experts,
+    default_expert_impl,
+    validate_expert_impl,
+)
 from .gating import (
     GateOutput,
     TopKGate,
@@ -31,13 +39,17 @@ __all__ = [
     "Experts",
     "default_expert_impl",
     "GateOutput",
+    "GroupedRouting",
     "MoELayer",
     "default_dispatch_mode",
     "TopKGate",
     "assign_capacity_slots",
     "combine",
+    "combine_grouped",
     "combine_sparse",
     "dispatch",
+    "dispatch_grouped",
     "dispatch_sparse",
     "load_balancing_loss",
+    "validate_expert_impl",
 ]

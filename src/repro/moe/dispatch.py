@@ -19,9 +19,25 @@ dispatch with index-based scatter/gather kernels.  Both backends
 produce identical outputs and gradients
 (`tests/moe/test_dispatch_parity.py`); the dense one stays selectable
 as the executable reference semantics.
+
+The third form is *capacity-free*: :func:`dispatch_grouped` sorts the
+kept assignments by expert (a stable argsort — the sort permutation)
+and gathers the token rows into contiguous per-expert segments, the
+layout :meth:`~repro.moe.experts.Experts.run_grouped` consumes via
+:func:`~repro.nn.tensor.segment_matmul`.  No ``(E, C, M)`` buffer, no
+scatter into capacity slots, no empty-slot padding — memory traffic
+is ``O(N * M)`` in the routed assignment count however large the
+capacity factor grows.  :func:`combine_grouped` is its adjoint-
+structured inverse: weight and scatter-add the flat expert output
+rows straight into their owning tokens.  Both consume the same
+``_kept_assignments`` layer as the sparse pair, so token-major top-k
+and flat expert-choice routings work unchanged.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
@@ -190,3 +206,100 @@ def combine_sparse(
     )  # (N, M)
     weights = gate_weights[weight_index].reshape(-1, 1)  # (N, 1)
     return scatter_add(rows * weights, token_ids, num_tokens)
+
+
+@dataclass(frozen=True)
+class GroupedRouting:
+    """The sort-permutation form of one batch's flat routing.
+
+    Produced by :func:`dispatch_grouped`, consumed by
+    :meth:`~repro.moe.experts.Experts.run_grouped` and
+    :func:`combine_grouped`.  All arrays are aligned with the sorted
+    flat rows: row n belongs to expert ``np.repeat(arange(E),
+    segment_counts)[n]``, came from token ``token_ids[n]``, and its
+    combine weight lives at ``weight_index`` position n of the gate's
+    weight tensor (a ``(token, choice)`` pair for the token-major
+    layout, a flat position for the flat layout).
+    """
+
+    #: (E,) kept assignments per expert — the segment lengths.
+    segment_counts: np.ndarray
+    #: (N,) owning token of each sorted row.
+    token_ids: np.ndarray
+    #: Index tuple selecting each sorted row's gate weight.
+    weight_index: Tuple[np.ndarray, ...]
+
+    @property
+    def num_assignments(self) -> int:
+        return int(self.token_ids.shape[0])
+
+
+def dispatch_grouped(
+    tokens: Tensor,
+    expert_indices: np.ndarray,
+    slot_indices: np.ndarray,
+    num_experts: int,
+    token_indices=None,
+) -> Tuple[Tensor, GroupedRouting]:
+    """Capacity-free dispatch: (T, M) tokens to flat per-expert segments.
+
+    Sorts the kept assignments by expert (stable, so ties keep the
+    gate's assignment order) and gathers each one's token row — a
+    single ``O(N * M)`` gather producing an ``(N, M)`` tensor whose
+    rows are contiguous per expert, plus the :class:`GroupedRouting`
+    bookkeeping needed to combine.  Unlike :func:`dispatch_sparse`
+    there is no capacity dimension: memory and FLOPs are independent
+    of ``C``, dropped assignments simply don't appear, and an expert
+    with no tokens contributes an empty segment.
+
+    Routing indices may be token-major ``(T, k)`` or flat ``(N,)``
+    with ``token_indices`` (see :func:`_kept_assignments`), so both
+    gate families share this path.
+    """
+    if tokens.ndim != 2:
+        raise ValueError(f"tokens must be (T, M), got {tokens.shape}")
+    token_ids, weight_index, expert_ids, _ = _kept_assignments(
+        expert_indices, slot_indices, token_indices
+    )
+    order = np.argsort(expert_ids, kind="stable")
+    counts = np.bincount(expert_ids, minlength=num_experts).astype(np.int64)
+    if counts.shape[0] != num_experts:
+        raise ValueError(
+            f"expert index {int(expert_ids.max())} out of range for "
+            f"{num_experts} experts"
+        )
+    routing = GroupedRouting(
+        segment_counts=counts,
+        token_ids=token_ids[order],
+        weight_index=tuple(np.asarray(ix)[order] for ix in weight_index),
+    )
+    return gather(tokens, routing.token_ids), routing
+
+
+def combine_grouped(
+    expert_rows: Tensor,
+    routing: GroupedRouting,
+    gate_weights: Tensor,
+    num_tokens: int,
+) -> Tensor:
+    """Capacity-free combine: flat (N, M) expert outputs to (T, M) tokens.
+
+    Scales each sorted output row by its differentiable gate weight
+    and scatter-adds it straight into the owning token — no gather
+    from a capacity buffer, because the rows never left the flat
+    form.  Token destinations repeat (up to k ways for top-k, up to E
+    under expert-choice), so this is the accumulating scatter; the
+    backward is the exact adjoint gather, and the zero gradient at
+    dropped assignments falls out because they were never dispatched.
+    """
+    if expert_rows.ndim != 2:
+        raise ValueError(
+            f"expert rows must be (N, M), got {expert_rows.shape}"
+        )
+    if expert_rows.shape[0] != routing.num_assignments:
+        raise ValueError(
+            f"expert rows {expert_rows.shape} do not match the "
+            f"{routing.num_assignments} routed assignments"
+        )
+    weights = gate_weights[routing.weight_index].reshape(-1, 1)  # (N, 1)
+    return scatter_add(expert_rows * weights, routing.token_ids, num_tokens)

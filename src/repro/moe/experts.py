@@ -13,7 +13,7 @@ and executes all E experts with two batched matmuls
 per-expert modules — the grouped-GEMM move Megatron-Core and
 MegaBlocks make for exactly this loop-of-small-GEMMs pathology.
 
-Two execution strategies share the parameters:
+Three execution strategies share the parameters:
 
 * ``expert_impl="batched"`` (default) — two ``bmm`` calls over the
   bank, *occupancy-aware*: given the gate's per-expert slot counts,
@@ -25,10 +25,22 @@ Two execution strategies share the parameters:
   (~ the routed token count N under balanced routing) instead of
   ``E * C``, while the output stays bit-identical to running the FFN
   over every slot.
+* ``expert_impl="grouped"`` — *capacity-free*, MegaBlocks-style: the
+  flat routed rows, sorted by expert, flow through
+  :func:`~repro.nn.tensor.segment_matmul` — each expert's contiguous
+  row segment multiplies its stacked weight slice, occupied experts
+  only, no capacity dimension anywhere.  :meth:`Experts.run_grouped`
+  is the primitive entry point the MoE layer's grouped hot path and
+  :class:`~repro.moe.parallel.ExpertParallelGroup` use; when handed a
+  capacity-form (E, C, M) buffer (dense dispatch mode, parity tests),
+  :meth:`Experts.forward` gathers the occupied prefix rows, runs them
+  grouped, and scatters them back with the empty-slot response in the
+  padding — same answers, buffer only at the boundary.
 * ``expert_impl="loop"`` — the reference: one expert at a time over
   its full capacity slice, Python-level, kept selectable for parity
-  testing (`tests/moe/test_expert_bank.py` asserts bit-equal forwards
-  and matching gradients).
+  testing (`tests/moe/test_expert_bank.py` and
+  `tests/moe/test_expert_grouped.py` assert bit-equal forwards and
+  matching gradients).
 
 Slot occupancy is a prefix by construction: every gate assigns
 capacity slots FCFS from slot 0, so expert e's occupied slots are
@@ -45,12 +57,36 @@ import numpy as np
 from ..nn import functional as F
 from ..nn.init import xavier_uniform
 from ..nn.modules import Module, Parameter
-from ..nn.tensor import Tensor, bmm, concatenate, stack
+from ..nn.tensor import (
+    Tensor,
+    bmm,
+    concatenate,
+    gather,
+    scatter_add,
+    segment_matmul,
+    stack,
+)
 
 #: Valid values of the ``expert_impl`` switch.
-EXPERT_IMPLS = ("batched", "loop")
+EXPERT_IMPLS = ("batched", "grouped", "loop")
 
 _default_expert_impl = "batched"
+
+
+def validate_expert_impl(impl: str) -> str:
+    """Check ``impl`` against :data:`EXPERT_IMPLS` and return it.
+
+    The single validation point shared by every entry that accepts an
+    ``expert_impl`` — :func:`default_expert_impl`, :class:`Experts`
+    (and through it :class:`~repro.moe.layer.MoELayer` and the model
+    constructors) — so a typo'd impl name fails with the same error
+    everywhere.
+    """
+    if impl not in EXPERT_IMPLS:
+        raise ValueError(
+            f"unknown expert_impl {impl!r}; expected one of {EXPERT_IMPLS}"
+        )
+    return impl
 
 
 @contextmanager
@@ -61,14 +97,11 @@ def default_expert_impl(impl: str):
     with ``expert_impl=None`` inside the block pick up ``impl``; an
     explicit argument still wins.  The convergence study uses this to
     pin its chaotic trajectories to the loop reference numerics (the
-    batched backward reassociates reductions, so gradients match only
-    to ~1e-6 — enough to shift a 600-step training run).
+    batched and grouped backwards reassociate reductions, so gradients
+    match only to ~1e-6 — enough to shift a 600-step training run).
     """
     global _default_expert_impl
-    if impl not in EXPERT_IMPLS:
-        raise ValueError(
-            f"unknown expert_impl {impl!r}; expected one of {EXPERT_IMPLS}"
-        )
+    validate_expert_impl(impl)
     previous = _default_expert_impl
     _default_expert_impl = impl
     try:
@@ -96,11 +129,7 @@ class Experts(Module):
             raise ValueError(f"unsupported activation {activation!r}")
         if expert_impl is None:
             expert_impl = _default_expert_impl
-        if expert_impl not in EXPERT_IMPLS:
-            raise ValueError(
-                f"unknown expert_impl {expert_impl!r}; "
-                f"expected one of {EXPERT_IMPLS}"
-            )
+        validate_expert_impl(expert_impl)
         self.num_experts = num_experts
         self.model_dim = model_dim
         self.hidden_dim = hidden_dim
@@ -138,6 +167,42 @@ class Experts(Module):
         h = self._act(x @ self.w1[expert] + self.b1[expert])
         return h @ self.w2[expert] + self.b2[expert]
 
+    def run_grouped(
+        self, rows: Tensor, segment_counts: np.ndarray
+    ) -> Tensor:
+        """Apply the bank to flat rows sorted by expert, (N, M) -> (N, M).
+
+        ``rows`` holds every routed token row, contiguous per expert
+        (``segment_counts[e]`` rows for expert e, summing to N) — the
+        sort-permutation form :func:`~repro.moe.dispatch.dispatch_grouped`
+        produces.  Two :func:`~repro.nn.tensor.segment_matmul` calls
+        run each occupied expert's segment through its FFN; the biases
+        are gathered per row from the stacked ``(E, 1, H)/(E, 1, M)``
+        parameters (a differentiable gather, so their gradients
+        scatter-add back per segment).  No (E, C, M) buffer exists at
+        any point, and an expert with an empty segment costs nothing.
+        """
+        counts = np.asarray(segment_counts)
+        if rows.ndim != 2 or rows.shape[1] != self.model_dim:
+            raise ValueError(
+                f"expected (N, {self.model_dim}) rows, got {rows.shape}"
+            )
+        if counts.shape != (self.num_experts,):
+            raise ValueError(
+                f"segment_counts must be ({self.num_experts},), "
+                f"got {counts.shape}"
+            )
+        expert_of_row = np.repeat(
+            np.arange(self.num_experts), counts.astype(np.int64)
+        )
+        b1 = self.b1.reshape(self.num_experts, self.hidden_dim)
+        b2 = self.b2.reshape(self.num_experts, self.model_dim)
+        h = self._act(
+            segment_matmul(rows, self.w1, counts)
+            + gather(b1, expert_of_row)
+        )
+        return segment_matmul(h, self.w2, counts) + gather(b2, expert_of_row)
+
     def empty_slot_response(self) -> Tensor:
         """Each expert's FFN output for an all-zero input row, (E, 1, M).
 
@@ -168,27 +233,32 @@ class Experts(Module):
 
         ``expert_load`` (optional) is the gate's per-expert occupied
         slot count — ``GateOutput.expert_load``.  With it, the batched
-        path runs the GEMMs only over the occupied slot prefix and
-        broadcasts the closed-form empty-slot response into the rest;
+        path runs the GEMMs only over the occupied slot prefix (and
+        the grouped path gathers exactly the occupied rows) and the
+        closed-form empty-slot response is broadcast into the rest;
         without it, every slot goes through the GEMMs.  Outputs are
         bit-identical either way.
         """
         self._validate(dispatched)
-        if self.expert_impl == "loop":
-            outputs: List[Tensor] = []
-            for e in range(self.num_experts):
-                outputs.append(self.run_expert(e, dispatched[e]))
-            return stack(outputs, axis=0)
-
-        capacity = dispatched.shape[1]
-        active = capacity
-        if expert_load is not None and capacity > 0:
+        fill = None
+        if expert_load is not None:
             fill = np.asarray(expert_load)
             if fill.shape != (self.num_experts,):
                 raise ValueError(
                     f"expert_load must be ({self.num_experts},), "
                     f"got {fill.shape}"
                 )
+        if self.expert_impl == "loop":
+            outputs: List[Tensor] = []
+            for e in range(self.num_experts):
+                outputs.append(self.run_expert(e, dispatched[e]))
+            return stack(outputs, axis=0)
+        if self.expert_impl == "grouped":
+            return self._grouped_capacity(dispatched, fill)
+
+        capacity = dispatched.shape[1]
+        active = capacity
+        if fill is not None and capacity > 0:
             active = int(min(max(fill.max(initial=0), 0), capacity))
 
         body = dispatched if active == capacity else dispatched[:, :active]
@@ -206,3 +276,43 @@ class Experts(Module):
             np.zeros(pad_shape, dtype=np.float32)
         )
         return concatenate([out, padding], axis=1)
+
+    def _grouped_capacity(
+        self, dispatched: Tensor, fill: Optional[np.ndarray]
+    ) -> Tensor:
+        """Capacity-form adapter for the grouped impl: (E, C, M) both ways.
+
+        Used when the grouped bank receives a capacity buffer anyway —
+        dense dispatch mode, the parity suites, fidelity studies.  The
+        occupied prefix rows (all ``E * C`` rows when ``fill`` is
+        unknown) are gathered into the flat sorted-by-expert form,
+        run through :meth:`run_grouped`, and scattered back to their
+        unique ``expert * C + slot`` origins; padding slots get the
+        broadcast empty-slot response, exactly as the batched path
+        fills them.
+        """
+        num_experts, capacity, model_dim = dispatched.shape
+        flat = dispatched.reshape(num_experts * capacity, model_dim)
+        if fill is None or capacity == 0:
+            counts = np.full(num_experts, capacity, dtype=np.int64)
+            return self.run_grouped(flat, counts).reshape(dispatched.shape)
+        counts = np.clip(fill, 0, capacity).astype(np.int64)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        total = int(offsets[-1])
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            offsets[:-1], counts
+        )
+        row_idx = (
+            np.repeat(np.arange(num_experts, dtype=np.int64) * capacity, counts)
+            + within
+        )
+        out_rows = self.run_grouped(gather(flat, row_idx), counts)
+        out = scatter_add(
+            out_rows, row_idx, num_experts * capacity, unique_indices=True
+        ).reshape(dispatched.shape)
+        if total == num_experts * capacity:
+            return out
+        pad = (np.arange(capacity)[None, :] >= counts[:, None]).astype(
+            np.float32
+        )
+        return out + self.empty_slot_response() * Tensor(pad[:, :, None])

@@ -31,8 +31,10 @@ from ..nn.tensor import Tensor
 from .dispatch import (
     DISPATCH_MODES,
     combine,
+    combine_grouped,
     combine_sparse,
     dispatch,
+    dispatch_grouped,
     dispatch_sparse,
 )
 from .experts import EXPERT_IMPLS, Experts
@@ -88,10 +90,19 @@ class MoELayer(Module):
     (:mod:`repro.moe.experts`): ``"batched"`` (default) runs all E
     experts as two batched matmuls over the occupied slot prefix —
     the gate's per-expert fill counts bound the GEMMs — while
-    ``"loop"`` is the per-expert reference loop.  Outputs are
-    bit-identical.  ``None`` (the default) defers to the ambient
-    process default, overridable with
-    :func:`~repro.moe.experts.default_expert_impl`.
+    ``"grouped"`` removes the capacity dimension from the hot path
+    entirely: with sparse dispatch the layer sorts the flat routed
+    rows by expert (:func:`~repro.moe.dispatch.dispatch_grouped`),
+    runs each expert's contiguous segment through
+    :meth:`~repro.moe.experts.Experts.run_grouped`, and combines
+    straight from the flat rows — no (E, C, M) buffer is ever built,
+    so memory traffic is independent of the capacity factor.
+    ``"loop"`` is the per-expert reference loop.  Outputs agree
+    bit-for-bit between batched and loop; the grouped path agrees
+    bit-for-bit on expert outputs and to float-addition reassociation
+    (~1e-6) on combined tokens with more than two contributions.
+    ``None`` (the default) defers to the ambient process default,
+    overridable with :func:`~repro.moe.experts.default_expert_impl`.
     """
 
     def __init__(
@@ -156,10 +167,13 @@ class MoELayer(Module):
         self.last_aux_loss: Optional[Tensor] = None
         #: Gate statistics of the most recent forward.
         self.last_gate_output: Optional[GateOutput] = None
-        #: Raw dispatched (E, C, M) payload of the most recent forward
-        #: — the *pre-compression* input handed to the first A2A's
-        #: codec (for fidelity studies; with a lossy compressor the
-        #: wire itself carries the codec's compressed encoding).
+        #: Raw dispatched payload of the most recent forward — the
+        #: *pre-compression* input handed to the first A2A's codec
+        #: (for fidelity studies; with a lossy compressor the wire
+        #: itself carries the codec's compressed encoding).  Shape
+        #: (E, C, M) for the capacity-buffer paths; the grouped impl
+        #: ships the flat (N, M) routed rows instead — that *is* its
+        #: wire payload.
         self.last_dispatched: Optional[np.ndarray] = None
 
     def _transport(self, x: Tensor) -> Tensor:
@@ -191,6 +205,31 @@ class MoELayer(Module):
         self.last_aux_loss = gate_out.aux_loss
 
         sparse = self.dispatch_mode == "sparse" and gate_out.has_sparse
+        if sparse and self.experts.expert_impl == "grouped":
+            # Capacity-free hot path: flat rows sorted by expert, no
+            # (E, C, M) buffer on either side of the expert FFNs.
+            rows, routing = dispatch_grouped(
+                tokens,
+                gate_out.expert_indices,
+                gate_out.slot_indices,
+                gate_out.num_experts,
+                token_indices=gate_out.token_indices,
+            )
+            self.last_dispatched = rows.data
+            rows = self._transport(rows)  # first A2A
+            expert_rows = self.experts.run_grouped(
+                rows, routing.segment_counts
+            )
+            expert_rows = self._transport(expert_rows)  # second A2A
+            merged = combine_grouped(
+                expert_rows,
+                routing,
+                gate_out.gate_weights,
+                gate_out.num_tokens,
+            )
+            if len(original_shape) == 3:
+                return merged.reshape(original_shape)
+            return merged
         if sparse:
             dispatched = dispatch_sparse(
                 tokens,

@@ -35,6 +35,7 @@ from .tensor import (
     einsum,
     gather,
     scatter_add,
+    segment_matmul,
     stack,
     where,
 )
@@ -66,6 +67,7 @@ __all__ = [
     "normal",
     "save_checkpoint",
     "scatter_add",
+    "segment_matmul",
     "stack",
     "stack_expert_state",
     "unstack_expert_state",

@@ -519,6 +519,82 @@ def bmm(a: Tensor, b: Tensor) -> Tensor:
     return Tensor(data)
 
 
+def segment_matmul(
+    x: Tensor, weight: Tensor, segment_counts: np.ndarray
+) -> Tensor:
+    """Differentiable per-segment matmul against a stacked weight bank.
+
+    ``x`` is ``(N, K)`` whose rows are grouped into E contiguous
+    segments (``segment_counts[e]`` rows each, summing to N) and
+    ``weight`` a stacked ``(E, K, J)`` bank; segment e's rows multiply
+    ``weight[e]``:
+
+    ``out[start_e : start_e + counts[e]] = x[same] @ weight[e]``
+
+    This is the capacity-free MoE expert step: routed token rows
+    sorted by expert flow through each expert's weight without ever
+    materializing the (E, C, M) capacity buffer.  The forward loops
+    over *occupied* segments only (``counts[e] == 0`` costs nothing —
+    an expert that received no tokens is simply skipped, where the
+    capacity formulation would still carry its C padding slots), and
+    each segment GEMM is bit-identical to the per-expert reference
+    ``x_seg @ weight[e]``.
+
+    The backward accumulates per-segment gradients into the stacked
+    bank with the exact adjoints of each slice —
+
+    * ``grad_x[seg_e] = g[seg_e] @ weight[e]^T``
+    * ``grad_w[e]     = x[seg_e]^T @ g[seg_e]``  (zero for empty
+      segments)
+
+    — so one tape node covers the whole bank, like :func:`bmm`, but
+    over ragged row groups instead of a fixed capacity dimension.
+    """
+    x = Tensor._lift(x)
+    weight = Tensor._lift(weight)
+    counts = np.asarray(segment_counts)
+    if not np.issubdtype(counts.dtype, np.integer):
+        raise TypeError(f"segment_counts must be integers, got {counts.dtype}")
+    if x.ndim != 2 or weight.ndim != 3:
+        raise ValueError(
+            f"segment_matmul expects (N, K) x and (E, K, J) weight, "
+            f"got {x.shape} and {weight.shape}"
+        )
+    if counts.ndim != 1 or counts.shape[0] != weight.shape[0]:
+        raise ValueError(
+            f"segment_counts {counts.shape} must be ({weight.shape[0]},)"
+        )
+    if counts.size and counts.min() < 0:
+        raise ValueError("segment_counts must be >= 0")
+    if x.shape[1] != weight.shape[1]:
+        raise ValueError(
+            f"inner dimensions differ: {x.shape} @ {weight.shape}"
+        )
+    if int(counts.sum()) != x.shape[0]:
+        raise ValueError(
+            f"segment_counts sum {int(counts.sum())} != rows {x.shape[0]}"
+        )
+    offsets = np.concatenate([[0], np.cumsum(counts, dtype=np.int64)])
+    occupied = np.nonzero(counts)[0]
+    data = np.empty((x.shape[0], weight.shape[2]), dtype=np.float32)
+    for e in occupied:
+        lo, hi = offsets[e], offsets[e + 1]
+        np.matmul(x.data[lo:hi], weight.data[e], out=data[lo:hi])
+
+    def backward(g):
+        grad_x = np.empty_like(x.data)
+        grad_w = np.zeros_like(weight.data)
+        for e in occupied:
+            lo, hi = offsets[e], offsets[e + 1]
+            np.matmul(g[lo:hi], weight.data[e].T, out=grad_x[lo:hi])
+            np.matmul(x.data[lo:hi].T, g[lo:hi], out=grad_w[e])
+        return ((x, grad_x), (weight, grad_w))
+
+    if Tensor._needs_grad(x, weight):
+        return Tensor(data, _parents=(x, weight), _backward=backward)
+    return Tensor(data)
+
+
 def einsum(subscripts: str, *tensors: Tensor) -> Tensor:
     """Differentiable einsum for explicit (``->``) subscripts.
 

@@ -1,0 +1,121 @@
+"""The segment-matmul primitive behind the capacity-free expert path.
+
+``segment_matmul(x, w, counts)`` must be the exact per-segment
+composition of plain 2-d matmuls — forward bit-identical to slicing,
+backward the exact adjoint of each slice (per-segment input grads, and
+per-segment weight grads accumulated into the stacked bank with empty
+segments receiving exactly zero).
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, segment_matmul
+
+
+def reference(x, w, counts):
+    parts, lo = [], 0
+    for e, c in enumerate(counts):
+        parts.append(x[lo : lo + c] @ w[e])
+        lo += c
+    return (
+        np.concatenate(parts, axis=0)
+        if parts
+        else np.zeros((0, w.shape[2]), np.float32)
+    )
+
+
+@pytest.mark.parametrize(
+    "counts",
+    [[3, 2, 4], [0, 5, 0], [9, 0, 0], [0, 0, 0], [1, 1, 1]],
+)
+def test_forward_matches_sliced_matmuls(rng, counts):
+    counts = np.asarray(counts)
+    x = rng.standard_normal((int(counts.sum()), 6)).astype(np.float32)
+    w = rng.standard_normal((3, 6, 5)).astype(np.float32)
+    out = segment_matmul(Tensor(x), Tensor(w), counts)
+    np.testing.assert_array_equal(out.data, reference(x, w, counts))
+
+
+def test_backward_is_per_segment_adjoint(rng):
+    counts = np.array([2, 0, 3, 1])
+    x = Tensor(
+        rng.standard_normal((6, 4)).astype(np.float32), requires_grad=True
+    )
+    w = Tensor(
+        rng.standard_normal((4, 4, 3)).astype(np.float32), requires_grad=True
+    )
+    out = segment_matmul(x, w, counts)
+    seed = rng.standard_normal(out.shape).astype(np.float32)
+    out.backward(seed)
+
+    lo = 0
+    expected_w = np.zeros(w.shape, np.float32)
+    expected_x = np.zeros(x.shape, np.float32)
+    for e, c in enumerate(counts):
+        expected_x[lo : lo + c] = seed[lo : lo + c] @ w.data[e].T
+        expected_w[e] = x.data[lo : lo + c].T @ seed[lo : lo + c]
+        lo += c
+    np.testing.assert_allclose(x.grad, expected_x, atol=1e-6)
+    np.testing.assert_allclose(w.grad, expected_w, atol=1e-6)
+    # Expert 1 saw no rows: its weight gradient is exactly zero.
+    np.testing.assert_array_equal(w.grad[1], 0.0)
+
+
+def test_gradcheck_against_bmm_equivalent(rng):
+    """Uniform segments make segment_matmul a reshaped bmm — grads match."""
+    from repro.nn import bmm
+
+    E, C, K, J = 3, 4, 5, 2
+    x = rng.standard_normal((E * C, K)).astype(np.float32)
+    w = rng.standard_normal((E, K, J)).astype(np.float32)
+
+    xs, ws = Tensor(x, requires_grad=True), Tensor(w, requires_grad=True)
+    seg = segment_matmul(xs, ws, np.full(E, C))
+    (seg**2).sum().backward()
+
+    xb, wb = Tensor(x.copy(), requires_grad=True), Tensor(
+        w.copy(), requires_grad=True
+    )
+    batched = bmm(xb.reshape(E, C, K), wb)
+    (batched**2).sum().backward()
+
+    np.testing.assert_array_equal(seg.data, batched.data.reshape(E * C, J))
+    np.testing.assert_allclose(xs.grad, xb.grad, atol=1e-6)
+    np.testing.assert_allclose(ws.grad, wb.grad, atol=1e-6)
+
+
+def test_empty_input(rng):
+    w = Tensor(rng.standard_normal((2, 3, 4)).astype(np.float32))
+    out = segment_matmul(
+        Tensor(np.zeros((0, 3), np.float32)), w, np.zeros(2, np.int64)
+    )
+    assert out.shape == (0, 4)
+
+
+def test_no_grad_operands_skip_the_tape(rng):
+    x = Tensor(rng.standard_normal((2, 3)).astype(np.float32))
+    w = Tensor(rng.standard_normal((1, 3, 3)).astype(np.float32))
+    out = segment_matmul(x, w, np.array([2]))
+    assert out._parents == () and out._backward is None
+
+
+def test_validation_errors(rng):
+    x = Tensor(rng.standard_normal((4, 3)).astype(np.float32))
+    w = Tensor(rng.standard_normal((2, 3, 5)).astype(np.float32))
+    with pytest.raises(ValueError):
+        segment_matmul(x, w, np.array([1, 2]))  # sum != rows
+    with pytest.raises(ValueError):
+        segment_matmul(x, w, np.array([4]))  # wrong number of segments
+    with pytest.raises(ValueError):
+        segment_matmul(x, w, np.array([5, -1]))  # negative count
+    with pytest.raises(TypeError):
+        segment_matmul(x, w, np.array([2.0, 2.0]))  # non-integer counts
+    with pytest.raises(ValueError):
+        segment_matmul(
+            Tensor(np.zeros((4, 2), np.float32)), w, np.array([2, 2])
+        )  # inner dim mismatch
+    with pytest.raises(ValueError):
+        segment_matmul(
+            Tensor(np.zeros((2, 2, 3), np.float32)), w, np.array([1, 1])
+        )  # x must be 2-d
