@@ -28,6 +28,15 @@ Quickstart::
 
 from .cluster import ClusterSpec, SimCluster, paper_testbed
 from .collectives import available_a2a, get_a2a, register_a2a
+from .faults import (
+    FaultError,
+    FaultPlan,
+    LinkFault,
+    StragglerFault,
+    TransientFaults,
+    load_fault_plan,
+    save_fault_plan,
+)
 from .compression import available_compressors, get_compressor, register_compressor
 from .core import (
     OptScheScheduler,
@@ -47,7 +56,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ClusterSpec",
+    "FaultError",
+    "FaultPlan",
+    "LinkFault",
     "MoELayer",
+    "StragglerFault",
+    "TransientFaults",
+    "load_fault_plan",
+    "save_fault_plan",
     "OptScheScheduler",
     "Profiler",
     "ScheMoELayer",

@@ -6,7 +6,10 @@ Usage::
     python -m repro table7               # CT-MoE-x system comparison
     python -m repro fig9                 # A2A algorithm sweep
     python -m repro a2a --algo pipe --size 256e6
+    python -m repro a2a --algo pipe --faults plan.json
     python -m repro step --model ct_moe --layers 12 --policy ScheMoE
+    python -m repro faults --slowdown 2.0 --scheduler optsche
+    python -m repro faults --plan plan.json --write-demo plan.json
     python -m repro trace --out /tmp/schedule.json
 
 Each experiment prints the paper-formatted table the corresponding
@@ -37,7 +40,8 @@ def _runner(args) -> SystemRunner:
 
 def cmd_list(_args) -> int:
     """List experiments, policies, models and cluster presets."""
-    print("experiments: table1 table7 table8 table10 fig9 a2a step trace")
+    print("experiments: table1 table7 table8 table10 fig9 a2a faults "
+          "step trace")
     print("policies:   ", ", ".join(sorted(ALL_POLICIES)))
     print("models:     ", ", ".join(sorted(PAPER_MODELS)))
     from .cluster.presets import PRESETS
@@ -119,8 +123,11 @@ def cmd_fig9(args) -> int:
 
 def cmd_a2a(args) -> int:
     """Measure one all-to-all call on the selected cluster."""
+    from .faults import load_fault_plan
+
     spec = get_preset(args.cluster)
-    result = measure_a2a(get_a2a(args.algo), spec, args.size)
+    plan = load_fault_plan(args.faults) if args.faults else None
+    result = measure_a2a(get_a2a(args.algo), spec, args.size, faults=plan)
     if result.oom:
         print(f"{args.algo} @ {args.size:.3e} B: OOM "
               f"(peak {result.peak_bytes_per_gpu / 2**30:.1f} GiB/GPU)")
@@ -131,6 +138,64 @@ def cmd_a2a(args) -> int:
         f"  intra {result.stats['intra_bytes'] / 1e6:.1f} MB"
         f"  inter {result.stats['inter_bytes'] / 1e6:.1f} MB"
     )
+    if "transient_failures" in result.stats:
+        print(
+            f"  transient failures "
+            f"{result.stats['transient_failures']:.0f}, retries "
+            f"{result.stats['transient_retries']:.0f}"
+        )
+    return 0
+
+
+def cmd_faults(args) -> int:
+    """Execute one MoE layer pass under a fault plan.
+
+    Runs the layer twice — on the healthy cluster and under the plan —
+    and reports the makespans and the degradation factor.  The
+    schedule is planned against the healthy profile both times, so
+    this shows how the chosen policy absorbs faults it did not plan
+    for.  Without ``--plan``, a demo straggler plan (``--rank`` slowed
+    ``--slowdown``x) is used; ``--write-demo`` saves that plan as JSON
+    for editing.
+    """
+    from .compression import get_compressor
+    from .core import EventExecutor, get_scheduler
+    from .faults import load_fault_plan, save_fault_plan, single_straggler
+
+    if args.plan:
+        plan = load_fault_plan(args.plan)
+    else:
+        plan = single_straggler(rank=args.rank, slowdown=args.slowdown)
+    if args.write_demo:
+        save_fault_plan(plan, args.write_demo)
+        print(f"fault plan written to {args.write_demo}")
+        return 0
+
+    spec = get_preset(args.cluster)
+    cfg = ct_moe(args.layers)
+
+    def run(faults):
+        return EventExecutor(
+            spec,
+            get_a2a(args.algo),
+            get_compressor("zfp"),
+            get_scheduler(args.scheduler),
+            partitions=2,
+            faults=faults,
+        ).run(cfg)
+
+    healthy = run(None)
+    faulted = run(plan)
+    print(
+        f"{cfg.name} layer pass, {args.scheduler} + {args.algo} on "
+        f"{args.cluster}:"
+    )
+    print(f"  healthy makespan: {healthy.makespan * 1e3:9.3f} ms")
+    print(f"  faulted makespan: {faulted.makespan * 1e3:9.3f} ms "
+          f"({faulted.makespan / healthy.makespan:.2f}x)")
+    for key in ("transient_failures", "transient_retries"):
+        if key in faulted.traffic:
+            print(f"  {key.replace('_', ' ')}: {faulted.traffic[key]:.0f}")
     return 0
 
 
@@ -211,6 +276,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_a2a = sub.add_parser("a2a", help="measure one all-to-all")
     p_a2a.add_argument("--algo", default="pipe")
     p_a2a.add_argument("--size", type=float, default=2.56e8)
+    p_a2a.add_argument(
+        "--faults", metavar="PLAN_JSON",
+        help="run on a faulted cluster (FaultPlan JSON file)",
+    )
 
     p_step = sub.add_parser("step", help="one model step breakdown")
     p_step.add_argument("--model", default="ct_moe",
@@ -218,6 +287,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_step.add_argument("--layers", type=int, default=12)
     p_step.add_argument("--policy", default="ScheMoE",
                         choices=sorted(ALL_POLICIES))
+
+    p_faults = sub.add_parser(
+        "faults", help="one layer pass under a fault plan"
+    )
+    p_faults.add_argument(
+        "--plan", metavar="PLAN_JSON",
+        help="FaultPlan JSON (default: demo straggler plan)",
+    )
+    p_faults.add_argument("--rank", type=int, default=0,
+                          help="demo straggler rank (default: 0)")
+    p_faults.add_argument("--slowdown", type=float, default=2.0,
+                          help="demo straggler slowdown (default: 2.0)")
+    p_faults.add_argument("--scheduler", default="optsche")
+    p_faults.add_argument("--algo", default="pipe")
+    p_faults.add_argument("--layers", type=int, default=12)
+    p_faults.add_argument(
+        "--write-demo", metavar="PATH",
+        help="write the selected plan as JSON and exit",
+    )
 
     p_trace = sub.add_parser("trace", help="export a chrome trace")
     p_trace.add_argument("--out", default="schedule_trace.json")
@@ -240,6 +328,7 @@ COMMANDS = {
     "table10": cmd_table10,
     "fig9": cmd_fig9,
     "a2a": cmd_a2a,
+    "faults": cmd_faults,
     "step": cmd_step,
     "trace": cmd_trace,
 }

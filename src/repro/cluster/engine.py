@@ -137,21 +137,28 @@ class Process(Event):
     def __init__(self, engine: "Engine", gen: ProcessGenerator, name: str = ""):
         super().__init__(engine, name or getattr(gen, "__name__", "process"))
         self._gen = gen
+        #: The event this process is currently blocked on (deadlock
+        #: diagnostics); ``None`` while runnable or finished.
+        self.waiting_on: Optional[Event] = None
+        engine._live_processes.append(self)
         engine._schedule_callback(self._resume, _START)
 
     def _resume(self, ev: Event) -> None:
+        self.waiting_on = None
         try:
             if ev is _START:
                 target = self._gen.send(None)
             else:
                 target = self._gen.send(ev.value)
         except StopIteration as stop:
+            self.engine._live_processes.remove(self)
             self.succeed(stop.value)
             return
         if not isinstance(target, Event):
             raise SimulationError(
                 f"process {self.name!r} yielded {target!r}, expected an Event"
             )
+        self.waiting_on = target
         target.add_callback(self._resume)
 
 
@@ -171,6 +178,7 @@ class Engine:
         self.now: float = 0.0
         self._queue: list = []
         self._seq = itertools.count()
+        self._live_processes: List["Process"] = []
 
     # -- scheduling ---------------------------------------------------
     def _schedule_at(self, when: float, event: Event) -> None:
@@ -205,6 +213,12 @@ class Engine:
 
         ``until`` caps the simulated time; events past the cap stay
         queued and ``now`` is advanced to ``until``.
+
+        Raises :class:`SimulationError` when the queue drains while
+        processes are still blocked on events nobody can fire anymore —
+        a deadlock.  The message names the blocked processes and what
+        each is waiting on (an ``until`` cap suppresses the check:
+        stopping early legitimately strands in-flight processes).
         """
         while self._queue:
             when, _seq, kind, target, arg = self._queue[0]
@@ -220,7 +234,27 @@ class Engine:
                     target.succeed()
             else:
                 target(arg)
+        if until is None and self._live_processes:
+            raise SimulationError(self._deadlock_message())
         return self.now
+
+    def _deadlock_message(self, limit: int = 8) -> str:
+        blocked = list(self._live_processes)
+        lines = [
+            f"deadlock at t={self.now:g}s: event queue drained with "
+            f"{len(blocked)} process(es) still blocked on unfired events:"
+        ]
+        for proc in blocked[:limit]:
+            waiting = proc.waiting_on
+            what = (
+                f"{type(waiting).__name__} {waiting.name!r}"
+                if waiting is not None
+                else "nothing (never started)"
+            )
+            lines.append(f"  - process {proc.name!r} waiting on {what}")
+        if len(blocked) > limit:
+            lines.append(f"  ... and {len(blocked) - limit} more")
+        return "\n".join(lines)
 
 
 class Resource:

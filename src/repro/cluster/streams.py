@@ -31,11 +31,24 @@ class Stream:
         self.name = name
         self._tail: Optional[Event] = None
         self._submitted = 0
+        self._inflight: dict = {}  # label -> completion Event
 
     @property
     def depth(self) -> int:
         """Number of items ever submitted (for diagnostics)."""
         return self._submitted
+
+    def outstanding(self) -> List[str]:
+        """Labels of submitted items that have not completed yet.
+
+        Under fault injection a stalled or deadlocked simulation is
+        diagnosed by which stream items never finished — the engine's
+        deadlock report names processes, this names them per stream in
+        submission order.
+        """
+        return [
+            label for label, ev in self._inflight.items() if not ev.fired
+        ]
 
     def submit(
         self,
@@ -61,6 +74,8 @@ class Stream:
         label = name or f"{self.name}#{self._submitted}"
         proc = self.engine.process(self._run(deps, work), name=label)
         self._tail = proc
+        self._inflight[label] = proc
+        proc.add_callback(lambda _ev, label=label: self._inflight.pop(label, None))
         return proc
 
     def _run(

@@ -29,10 +29,13 @@ paper observed OOM.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 from .costmodel import GpuModel, LinkModel
 from .engine import Engine, ProcessGenerator, Resource
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults import FaultPlan
 
 
 class SimulatedOOM(RuntimeError):
@@ -155,9 +158,24 @@ class SimCluster:
     resource (fabric or NIC) for the alpha-beta duration of the message.
     """
 
-    def __init__(self, spec: ClusterSpec, engine: Engine | None = None):
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        engine: Engine | None = None,
+        faults: "FaultPlan | None" = None,
+    ):
         self.spec = spec
         self.engine = engine if engine is not None else Engine()
+        # Fault injection is strictly opt-in: with no plan (or an empty
+        # one) the injector stays ``None`` and every primitive takes
+        # exactly the historical code path — bit-identical simulations.
+        self._injector = None
+        if faults is not None and not faults.is_empty():
+            from ..faults import FaultInjector
+
+            self._injector = FaultInjector(
+                faults, spec.world_size, spec.num_nodes
+            )
         self.nodes: List[NodeRuntime] = []
         self.gpus: List[GpuRuntime] = []
         for n in range(spec.num_nodes):
@@ -184,6 +202,12 @@ class SimCluster:
             "intra_messages": 0.0,
             "inter_messages": 0.0,
         }
+        if self._injector is not None:
+            # Only faulted clusters report failure counters, so the
+            # healthy stats dict (serialized into benchmark sidecars)
+            # is unchanged by the existence of the fault layer.
+            self._stats["transient_failures"] = 0.0
+            self._stats["transient_retries"] = 0.0
 
     # -- accessors ------------------------------------------------------
     @property
@@ -209,6 +233,11 @@ class SimCluster:
         """Cumulative traffic statistics of this cluster instance."""
         return dict(self._stats)
 
+    @property
+    def fault_injector(self):
+        """The active :class:`~repro.faults.FaultInjector`, or ``None``."""
+        return self._injector
+
     # -- primitives -----------------------------------------------------
     def transfer(
         self, src: int, dst: int, nbytes: float, bulk: bool = False
@@ -221,7 +250,16 @@ class SimCluster:
         algorithms' aggregated transfers), which sustains higher fabric
         utilization than pairwise send/recv.  A self-transfer is an
         on-device copy costed by the GPU memory system with no shared
-        resource held.
+        resource held (and never faulted — it does not cross a link).
+
+        Under an active fault plan the transfer is priced against any
+        link faults covering its time window (piecewise, so degradation
+        windows that open or close mid-transfer price exactly the bytes
+        they cover), and transient faults can fail an attempt *after*
+        it occupied the link — the sender then backs off exponentially
+        in simulated time, releasing the link during the backoff, and
+        retries until the plan's retry budget is exhausted
+        (:class:`~repro.faults.FaultError`).
         """
         if nbytes < 0:
             raise ValueError(f"negative message size: {nbytes}")
@@ -235,22 +273,78 @@ class SimCluster:
             self._stats["intra_messages"] += 1
             resource = self.nodes[src_node].fabric
             link = self.spec.intra_bulk_link if bulk else self.spec.intra_link
-            duration = link.transfer_time(nbytes)
+            kind = "fabric"
         else:
             self._stats["inter_bytes"] += nbytes
             self._stats["inter_messages"] += 1
             resource = self.nodes[src_node].nic_send
-            duration = self.spec.inter_link.transfer_time(nbytes)
-        with (yield from resource.acquire()):
-            yield self.engine.timeout(duration)
+            link = self.spec.inter_link
+            kind = "nic"
+        if self._injector is None:
+            duration = link.transfer_time(nbytes)
+            with (yield from resource.acquire()):
+                yield self.engine.timeout(duration)
+            return
+        yield from self._faulted_transfer(
+            kind, src_node, resource, link, nbytes
+        )
+
+    def _faulted_transfer(
+        self,
+        kind: str,
+        src_node: int,
+        resource: Resource,
+        link: LinkModel,
+        nbytes: float,
+    ) -> ProcessGenerator:
+        """Transfer under an active fault plan: degraded timing plus the
+        transient-failure retry/backoff loop."""
+        from ..faults import FaultError
+
+        injector = self._injector
+        attempt = 0
+        while True:
+            with (yield from resource.acquire()):
+                start = self.engine.now
+                failed = injector.transfer_attempt_fails(kind, start)
+                finish = injector.transfer_finish(
+                    kind, src_node, start, nbytes, link
+                )
+                # A failed attempt still occupied the link for its full
+                # duration — the bytes moved, then the checksum said no.
+                yield self.engine.timeout(finish - start)
+            if not failed:
+                return
+            self._stats["transient_failures"] += 1
+            transient = injector.plan.transient
+            if attempt >= transient.max_retries:
+                raise FaultError(
+                    f"transfer of {nbytes:.0f} B over {kind}[{src_node}] "
+                    f"failed {attempt + 1} attempt(s); retry budget "
+                    f"({transient.max_retries}) exhausted at "
+                    f"t={self.engine.now:.6g}s"
+                )
+            self._stats["transient_retries"] += 1
+            yield self.engine.timeout(transient.backoff_delay(attempt))
+            attempt += 1
 
     def compute(self, rank: int, seconds: float) -> ProcessGenerator:
-        """Process generator occupying GPU ``rank``'s compute engine."""
+        """Process generator occupying GPU ``rank``'s compute engine.
+
+        ``seconds`` is the *healthy* kernel duration; an active
+        straggler fault on ``rank`` stretches it piecewise over the
+        fault's time window.
+        """
         if seconds < 0:
             raise ValueError(f"negative compute duration: {seconds}")
         gpu = self.gpu(rank)
         with (yield from gpu.compute.acquire()):
-            yield self.engine.timeout(seconds)
+            if self._injector is None:
+                yield self.engine.timeout(seconds)
+            else:
+                start = self.engine.now
+                finish = self._injector.compute_finish(rank, start, seconds)
+                yield self.engine.timeout(finish - start)
 
     def reset_memory(self) -> None:
         """Zero all simulated allocations (between experiments)."""

@@ -105,16 +105,22 @@ def measure_a2a(
     spec: ClusterSpec,
     nbytes: float,
     engine: Optional[Engine] = None,
+    faults=None,
 ) -> A2AResult:
     """Run one collective on a fresh cluster and report its makespan.
 
     Out-of-memory during scheduling is reported as ``oom=True`` with
     ``seconds=inf`` rather than raising, so sweeps (Fig. 9) can record
     OOM points the way the paper plots them.
+
+    ``faults`` is an optional :class:`~repro.faults.FaultPlan`: the
+    collective then runs on a faulted cluster (straggler GPUs don't
+    affect a pure communication benchmark, but link degradation and
+    transient failures do).
     """
     from ..cluster.topology import SimulatedOOM
 
-    cluster = SimCluster(spec, engine=engine)
+    cluster = SimCluster(spec, engine=engine, faults=faults)
     streams = make_streams(cluster.engine, spec.world_size)
     for rank in cluster.iter_ranks():
         gpu = cluster.gpu(rank)

@@ -57,6 +57,7 @@ class EventExecutor:
         compressor: Compressor,
         scheduler: Scheduler,
         partitions: int = 2,
+        faults=None,
     ):
         if partitions < 1:
             raise ValueError(f"partitions must be >= 1, got {partitions}")
@@ -65,6 +66,12 @@ class EventExecutor:
         self.compressor = compressor
         self.scheduler = scheduler
         self.partitions = partitions
+        #: Optional :class:`~repro.faults.FaultPlan` applied to every
+        #: execution.  Profiling (and therefore the schedule) stays
+        #: *healthy*: the scheduler plans for the cluster it believes
+        #: it has, and the faults hit at execution time — exactly the
+        #: mismatch a straggler study wants to measure.
+        self.faults = faults
         self._profiler = Profiler(spec, a2a=a2a, compressor=compressor)
 
     def run(self, cfg: MoEModelConfig) -> ExecutionReport:
@@ -74,7 +81,7 @@ class EventExecutor:
             self.partitions, durations
         )
 
-        cluster = SimCluster(self.spec)
+        cluster = SimCluster(self.spec, faults=self.faults)
         engine = cluster.engine
         streams = make_streams(engine, self.spec.world_size)
 

@@ -144,6 +144,67 @@ class GateOutput:
             return 0.0
         return self.dropped_tokens / self.num_tokens
 
+    # -- graceful degradation ------------------------------------------
+    def with_experts_dropped(self, dead_experts) -> "GateOutput":
+        """Routing with every assignment to ``dead_experts`` dropped.
+
+        This is the numerical substrate's dead-worker degradation: a
+        worker lost mid-step takes its expert shards with it, and the
+        tokens routed there are handled by the layer's existing
+        capacity-drop semantics — slot ``-1``, zero combine weight,
+        pass through as zeros.  Token-major (top-k) routing
+        additionally *renormalizes* each token's weights over its
+        surviving experts (differentiably, through the same masked
+        softmax-renorm the gate itself uses), so a token that keeps
+        one of its two experts leans fully on it; flat expert-choice
+        routing carries raw unnormalized affinities, so there the dead
+        entries are only zeroed, matching its combine semantics.
+
+        Returns a new :class:`GateOutput` sharing the untouched index
+        arrays; dense masks re-densify lazily from the updated
+        routing.  An empty ``dead_experts`` returns ``self``.
+        """
+        dead = frozenset(int(e) for e in dead_experts)
+        if not dead:
+            return self
+        if not self.has_sparse:
+            raise ValueError(
+                "with_experts_dropped needs sparse routing indices"
+            )
+        for e in dead:
+            if not 0 <= e < self._num_experts:
+                raise ValueError(
+                    f"dead expert {e} out of range [0, {self._num_experts})"
+                )
+        dead_mask = np.zeros(self._num_experts, dtype=bool)
+        dead_mask[list(dead)] = True
+        hit = dead_mask[self.expert_indices] & (self.slot_indices >= 0)
+        newly_dropped = int(hit.sum())
+        slot_indices = np.where(hit, -1, self.slot_indices)
+        expert_load = self.expert_load.copy()
+        expert_load[dead_mask] = 0
+        survives = Tensor(
+            ((self.slot_indices >= 0) & ~hit).astype(np.float32)
+        )
+        if self.expert_indices.ndim == 2:  # token-major: renormalize
+            masked = self.gate_weights * survives
+            denom = masked.sum(axis=-1, keepdims=True) + 1e-9
+            weights = masked / denom
+        else:  # flat: raw affinities, zero the dead entries
+            weights = self.gate_weights * survives
+        return GateOutput(
+            aux_loss=self.aux_loss,
+            expert_load=expert_load,
+            dropped_tokens=self.dropped_tokens + newly_dropped,
+            capacity=self.capacity,
+            expert_indices=self.expert_indices,
+            slot_indices=slot_indices,
+            token_indices=self.token_indices,
+            gate_weights=weights,
+            num_tokens=self._num_tokens,
+            num_experts=self._num_experts,
+        )
+
     # -- lazy densification --------------------------------------------
     def _kept_coords(self):
         """(token, expert, slot, weight-index) arrays of kept assignments.

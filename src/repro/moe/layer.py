@@ -163,6 +163,9 @@ class MoELayer(Module):
             expert_impl=expert_impl,
         )
         self.compressor = compressor
+        #: Experts currently considered lost (graceful degradation);
+        #: see :meth:`set_dead_experts`.
+        self._dead_experts: frozenset = frozenset()
         #: Auxiliary load-balancing loss of the most recent forward.
         self.last_aux_loss: Optional[Tensor] = None
         #: Gate statistics of the most recent forward.
@@ -175,6 +178,37 @@ class MoELayer(Module):
         #: ships the flat (N, M) routed rows instead — that *is* its
         #: wire payload.
         self.last_dispatched: Optional[np.ndarray] = None
+
+    @property
+    def dead_experts(self) -> frozenset:
+        """Experts currently treated as lost (empty when healthy)."""
+        return self._dead_experts
+
+    def set_dead_experts(self, dead_experts) -> None:
+        """Declare experts lost (e.g. their host worker died mid-run).
+
+        Tokens routed to a dead expert are handled by the layer's
+        existing capacity-drop semantics — combined as zeros with the
+        surviving experts' weights renormalized
+        (:meth:`~repro.moe.gating.GateOutput.with_experts_dropped`) —
+        so training continues with bounded loss impact instead of
+        crashing.  Pass an empty collection to restore full health;
+        with no dead experts the forward path is bit-identical to a
+        layer that never heard of faults.
+        """
+        dead = frozenset(int(e) for e in dead_experts)
+        num_experts = self.gate.num_experts
+        for e in dead:
+            if not 0 <= e < num_experts:
+                raise ValueError(
+                    f"dead expert {e} out of range [0, {num_experts})"
+                )
+        if len(dead) == num_experts:
+            raise ValueError(
+                "all experts declared dead; the layer cannot degrade "
+                "around a total loss"
+            )
+        self._dead_experts = dead
 
     def _transport(self, x: Tensor) -> Tensor:
         """One A2A hop: codec roundtrip on values and on gradients."""
@@ -201,6 +235,8 @@ class MoELayer(Module):
             raise ValueError(f"expected 2D or 3D input, got shape {x.shape}")
 
         gate_out = self.gate(tokens)
+        if self._dead_experts:
+            gate_out = gate_out.with_experts_dropped(self._dead_experts)
         self.last_gate_output = gate_out
         self.last_aux_loss = gate_out.aux_loss
 

@@ -54,7 +54,9 @@ class ExpertParallelGroup:
     bit-for-bit against the single-process layer.
     """
 
-    def __init__(self, layer: MoELayer, num_workers: int):
+    def __init__(
+        self, layer: MoELayer, num_workers: int, dead_workers=()
+    ):
         num_experts = layer.gate.num_experts
         if num_workers < 1 or num_experts % num_workers != 0:
             raise ValueError(
@@ -64,6 +66,53 @@ class ExpertParallelGroup:
         self.layer = layer
         self.num_workers = num_workers
         self.experts_per_worker = num_experts // num_workers
+        self._dead_workers: frozenset = frozenset()
+        if dead_workers:
+            self.set_dead_workers(dead_workers)
+
+    # -- graceful degradation ----------------------------------------------
+    @property
+    def dead_workers(self) -> frozenset:
+        """Workers currently treated as failed (empty when healthy)."""
+        return self._dead_workers
+
+    @property
+    def dead_experts(self) -> frozenset:
+        """Experts lost with the dead workers that hosted them."""
+        return frozenset(
+            e
+            for w in self._dead_workers
+            for e in range(
+                w * self.experts_per_worker,
+                (w + 1) * self.experts_per_worker,
+            )
+        )
+
+    def set_dead_workers(self, dead_workers) -> None:
+        """Declare workers failed mid-run (e.g. a crashed rank).
+
+        A dead worker's expert shards are gone: no dispatch traffic is
+        sent to it, it computes nothing, and the tokens that would
+        have routed there are handled by the capacity-drop path —
+        combined as zeros with gate renormalization over surviving
+        experts — exactly like :meth:`MoELayer.set_dead_experts` with
+        the worker's expert range.  The dead worker's *data* shard is
+        still processed (in the real system the DP replica re-feeds
+        it; here the caller keeps passing all P shards).  Declaring
+        every worker dead is a total loss and is rejected.
+        """
+        dead = frozenset(int(w) for w in dead_workers)
+        for w in dead:
+            if not 0 <= w < self.num_workers:
+                raise ValueError(
+                    f"dead worker {w} out of range [0, {self.num_workers})"
+                )
+        if len(dead) == self.num_workers:
+            raise ValueError(
+                "all workers declared dead; the group cannot degrade "
+                "around a total loss"
+            )
+        self._dead_workers = dead
 
     # -- helpers -----------------------------------------------------------
     def _owner(self, expert: int) -> int:
@@ -98,6 +147,8 @@ class ExpertParallelGroup:
         # worker; here shards may differ, so each uses its own).
         from ..nn.tensor import Tensor
 
+        dead_workers = self._dead_workers
+        dead_experts = self.dead_experts
         gate_outputs = []
         for w in workers:
             tokens = np.asarray(shards[w], dtype=np.float32)
@@ -106,7 +157,14 @@ class ExpertParallelGroup:
                     f"shard {w} must be (tokens, {model_dim}), got "
                     f"{tokens.shape}"
                 )
-            gate_outputs.append(gate(Tensor(tokens)))
+            out = gate(Tensor(tokens))
+            if dead_experts:
+                # Tokens routed to a dead worker's experts fall back to
+                # the capacity-drop path (combine as zeros, surviving
+                # weights renormalized) before any dispatch happens —
+                # the same degradation MoELayer.set_dead_experts applies.
+                out = out.with_experts_dropped(dead_experts)
+            gate_outputs.append(out)
 
         # Dispatch: worker w builds, for each expert e, its (C, M)
         # capacity-padded buffer — the block it sends to e's owner.
@@ -137,6 +195,11 @@ class ExpertParallelGroup:
         for src in workers:
             for expert in range(num_experts):
                 dst = self._owner(expert)
+                if dst in dead_workers:
+                    # Nothing is sent to a failed rank; the masked
+                    # gating above already re-routed (dropped) every
+                    # token that would have gone there.
+                    continue
                 payload = self._apply_codec(send_blocks[src][expert])
                 dispatch_traffic[src, dst] += payload.nbytes
                 if inbox[dst][src] is None:
@@ -156,6 +219,11 @@ class ExpertParallelGroup:
         outbox = [[None] * self.num_workers for _ in workers]  # [src][dst]
         combine_traffic = np.zeros((self.num_workers, self.num_workers))
         for w in workers:
+            if w in dead_workers:
+                # A dead worker computes nothing and returns nothing.
+                for src in workers:
+                    outbox[w][src] = {}
+                continue
             entries = []  # (expert, src, block), block (C_src, M)
             for src in workers:
                 for expert, block in inbox[w][src].items():

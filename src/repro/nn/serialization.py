@@ -16,6 +16,7 @@ dict — so both directions round-trip exactly.
 from __future__ import annotations
 
 import json
+import os
 import re
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
@@ -139,6 +140,12 @@ def save_checkpoint(
     ``expert_layout="per-expert"`` writes MoE expert banks in the
     legacy one-FeedForward-per-expert key schema instead of the
     stacked default.
+
+    The write is crash-safe: the archive is assembled in a ``.tmp``
+    sibling in the target directory and published with an atomic
+    ``os.replace``, so a crash mid-write never leaves a truncated
+    checkpoint visible at ``path`` — readers see either the previous
+    complete checkpoint or the new complete one.
     """
     if expert_layout not in EXPERT_LAYOUTS:
         raise ValueError(
@@ -157,7 +164,25 @@ def save_checkpoint(
     )
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    np.savez(path, **payload)
+    # np.savez appends ".npz" to suffix-less string paths; mirror that
+    # so the atomic rename publishes to the historical destination.
+    final = (
+        path
+        if path.name.endswith(".npz")
+        else path.with_name(path.name + ".npz")
+    )
+    tmp = final.with_name(final.name + ".tmp")
+    try:
+        # savez over an open file object writes exactly there (no
+        # suffix games), letting us stage the whole archive first.
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
 
 
 def load_checkpoint(

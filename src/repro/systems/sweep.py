@@ -171,37 +171,65 @@ class SweepCache:
     the simulator is deterministic, so a duplicate key is by
     construction the identical record; loading keeps the last
     occurrence and compacts the file (atomic tmp+replace) when it
-    finds duplicates or the pre-JSONL single-document format.  A
-    torn trailing line (a writer killed mid-append) is skipped, not
-    fatal.
+    finds duplicates or the pre-JSONL single-document format.
+
+    Corrupt entries — a torn trailing line from a writer killed
+    mid-append, or any non-JSON garbage — are *quarantined*: moved
+    verbatim to a ``.bad`` sidecar (``<path>.bad``, append-only) and
+    compacted out of the main file, so nothing is silently dropped,
+    nothing crashes the load, and an operator can inspect exactly what
+    was torn.  ``quarantined_lines`` counts this load's victims.
     """
 
     def __init__(self, path):
         self.path = Path(path)
         self._pending: Dict[str, dict] = {}
-        self.entries, needs_compaction = self._read_disk()
+        self.entries, needs_compaction, bad_lines = self._read_disk()
+        #: Corrupt lines moved to the ``.bad`` sidecar by this load.
+        self.quarantined_lines = len(bad_lines)
+        if bad_lines:
+            try:
+                self._quarantine(bad_lines)
+                self._write_all(self.entries)
+                needs_compaction = False
+            except OSError:
+                pass  # read-only location: serve entries from memory
         if needs_compaction and self.entries:
             try:
                 self._write_all(self.entries)
             except OSError:
                 pass  # read-only location: serve entries from memory
 
+    @property
+    def bad_path(self) -> Path:
+        """The quarantine sidecar of this cache file."""
+        return self.path.with_suffix(self.path.suffix + ".bad")
+
+    def _quarantine(self, bad_lines: List[str]) -> None:
+        """Append corrupt lines verbatim to the ``.bad`` sidecar."""
+        self.bad_path.parent.mkdir(parents=True, exist_ok=True)
+        with self.bad_path.open("a", encoding="utf-8") as fh:
+            for line in bad_lines:
+                fh.write(line + "\n")
+
     # -- on-disk format ------------------------------------------------------
     @staticmethod
     def _entry_line(key: str, record: dict) -> str:
         return json.dumps({"key": key, "record": record}) + "\n"
 
-    def _read_disk(self) -> Tuple[Dict[str, dict], bool]:
-        """-> (entries, needs_compaction).
+    def _read_disk(self) -> Tuple[Dict[str, dict], bool, List[str]]:
+        """-> (entries, needs_compaction, bad_lines).
 
-        Empty on missing/corrupt/stale-version files.  Compaction is
-        requested when the file is legacy single-document JSON or
-        contains duplicate keys.
+        Empty on missing/stale-version files.  Compaction is requested
+        when the file is legacy single-document JSON or contains
+        duplicate keys.  ``bad_lines`` collects corrupt/non-JSON lines
+        for quarantine (a stale-but-valid version header is *not*
+        corruption and quarantines nothing).
         """
         try:
             text = self.path.read_text(encoding="utf-8")
         except OSError:
-            return {}, False
+            return {}, False, []
         lines = text.splitlines()
         try:
             head = json.loads(lines[0]) if lines else None
@@ -209,9 +237,10 @@ class SweepCache:
             head = None
         if isinstance(head, dict) and head.get("format") == CACHE_FORMAT:
             if head.get("version") != CACHE_VERSION:
-                return {}, False
+                return {}, False, []
             entries: Dict[str, dict] = {}
             duplicates = False
+            bad: List[str] = []
             for line in lines[1:]:
                 line = line.strip()
                 if not line:
@@ -219,26 +248,31 @@ class SweepCache:
                 try:
                     obj = json.loads(line)
                 except ValueError:
-                    continue  # torn/partial append
+                    bad.append(line)  # torn/partial append
+                    continue
                 if not isinstance(obj, dict):
+                    bad.append(line)
                     continue
                 key, record = obj.get("key"), obj.get("record")
                 if not isinstance(key, str) or not isinstance(record, dict):
+                    bad.append(line)
                     continue
                 duplicates |= key in entries
                 entries[key] = record
-            return entries, duplicates
+            return entries, duplicates, bad
         # Legacy format: one JSON document {"version": .., "entries": ..}.
         try:
             blob = json.loads(text)
         except ValueError:
-            return {}, False
+            # Neither JSONL nor a JSON document: the whole file is
+            # corrupt — quarantine every non-empty line.
+            return {}, False, [ln for ln in lines if ln.strip()]
         if not isinstance(blob, dict) or blob.get("version") != CACHE_VERSION:
-            return {}, False
+            return {}, False, []
         legacy = blob.get("entries", {})
         if not isinstance(legacy, dict):
-            return {}, False
-        return legacy, True  # migrate to JSONL
+            return {}, False, []
+        return legacy, True, []  # migrate to JSONL
 
     def _has_header(self) -> bool:
         """Whether the on-disk file starts with a current JSONL header."""
@@ -300,7 +334,7 @@ class SweepCache:
                 for key, record in self._pending.items():
                     fh.write(self._entry_line(key, record))
         else:
-            merged, _ = self._read_disk()
+            merged, _, _ = self._read_disk()
             merged.update(self.entries)
             self.entries = merged
             self._write_all(merged)

@@ -9,15 +9,19 @@ from .convergence import (
     run_translation_convergence,
 )
 from .trainer import (
+    AnomalyGuard,
     TrainHistory,
+    TrainingDivergedError,
     evaluate_translation_bleu,
     train_lm,
     train_translation,
 )
 
 __all__ = [
+    "AnomalyGuard",
     "ConvergenceResult",
     "TrainHistory",
+    "TrainingDivergedError",
     "VARIANTS",
     "default_lm_corpus",
     "default_mt_corpus",

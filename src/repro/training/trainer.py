@@ -10,8 +10,9 @@ real system would corrupt activations.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -23,6 +24,64 @@ from ..metrics.perplexity import evaluate_lm_perplexity
 from ..models.gpt2_tiny import TransformerLM
 from ..models.transformer import Seq2SeqTransformer
 from ..nn.optim import Adam, clip_grad_norm
+
+
+class TrainingDivergedError(RuntimeError):
+    """Raised when an :class:`AnomalyGuard` exhausts its retry budget."""
+
+
+@dataclass
+class AnomalyGuard:
+    """Skip-don't-crash protection against non-finite training steps.
+
+    Production MoE training treats a non-finite loss or gradient norm
+    as a transient anomaly (a bad batch, a race in a faulty collective,
+    a degraded worker's garbage output): the optimizer step is
+    *skipped* — weights and Adam state stay untouched — and training
+    continues.  Each consecutive skip decays the retry budget; a
+    healthy step restores it.  ``max_consecutive_skips`` exhausted
+    means the run has genuinely diverged and
+    :class:`TrainingDivergedError` is raised rather than silently
+    training on garbage forever.
+    """
+
+    max_consecutive_skips: int = 3
+    #: Total steps skipped over the run (diagnostics).
+    skipped_steps: int = 0
+    #: Current consecutive-skip streak; resets on a healthy step.
+    consecutive_skips: int = 0
+    #: Human-readable reason of the most recent skip.
+    last_reason: str = ""
+
+    def __post_init__(self) -> None:
+        if self.max_consecutive_skips < 1:
+            raise ValueError(
+                "max_consecutive_skips must be >= 1, got "
+                f"{self.max_consecutive_skips}"
+            )
+
+    def step_is_safe(self, loss: float, grad_norm: float) -> bool:
+        """Whether the optimizer step may be applied.
+
+        ``False`` means skip this step (and the streak grew);
+        exhaustion of the budget raises instead of returning.
+        """
+        if math.isfinite(loss) and math.isfinite(grad_norm):
+            self.consecutive_skips = 0
+            return True
+        self.skipped_steps += 1
+        self.consecutive_skips += 1
+        culprit = "loss" if not math.isfinite(loss) else "grad-norm"
+        self.last_reason = (
+            f"non-finite {culprit} (loss={loss}, grad_norm={grad_norm})"
+        )
+        if self.consecutive_skips > self.max_consecutive_skips:
+            raise TrainingDivergedError(
+                f"{self.consecutive_skips} consecutive anomalous steps "
+                f"(budget {self.max_consecutive_skips}); last: "
+                f"{self.last_reason}"
+            )
+        return False
 
 
 @dataclass
@@ -57,8 +116,16 @@ def train_lm(
     grad_clip: float = 1.0,
     seed: int = 0,
     eval_batches: int = 8,
+    guard: Optional[AnomalyGuard] = None,
 ) -> TrainHistory:
-    """Train a causal LM; metric = validation perplexity."""
+    """Train a causal LM; metric = validation perplexity.
+
+    ``guard`` enables anomaly protection: a step with non-finite loss
+    or gradient norm is skipped (weights and optimizer state
+    untouched) instead of corrupting the run; see
+    :class:`AnomalyGuard`.  Without a guard, behaviour is exactly the
+    historical unconditional-step loop.
+    """
     if steps < 1:
         raise ValueError("steps must be >= 1")
     optimizer = Adam(model.parameters(), lr=lr)
@@ -70,8 +137,9 @@ def train_lm(
         optimizer.zero_grad()
         loss = model.loss(tokens)
         loss.backward()
-        clip_grad_norm(model.parameters(), grad_clip)
-        optimizer.step()
+        grad_norm = clip_grad_norm(model.parameters(), grad_clip)
+        if guard is None or guard.step_is_safe(float(loss.data), grad_norm):
+            optimizer.step()
         history.losses.append(float(loss.data))
     history.metric = evaluate_lm_perplexity(
         model, corpus.batches(batch_size, eval_batches, seed=seed + 10_000)
@@ -88,8 +156,12 @@ def train_translation(
     grad_clip: float = 1.0,
     seed: int = 0,
     eval_batches: int = 8,
+    guard: Optional[AnomalyGuard] = None,
 ) -> TrainHistory:
-    """Train a seq2seq model; metric = validation BLEU."""
+    """Train a seq2seq model; metric = validation BLEU.
+
+    ``guard`` works as in :func:`train_lm`.
+    """
     if steps < 1:
         raise ValueError("steps must be >= 1")
     optimizer = Adam(model.parameters(), lr=lr)
@@ -99,8 +171,9 @@ def train_translation(
         optimizer.zero_grad()
         loss = model.loss(src, tgt_in, tgt_out)
         loss.backward()
-        clip_grad_norm(model.parameters(), grad_clip)
-        optimizer.step()
+        grad_norm = clip_grad_norm(model.parameters(), grad_clip)
+        if guard is None or guard.step_is_safe(float(loss.data), grad_norm):
+            optimizer.step()
         history.losses.append(float(loss.data))
     history.metric = evaluate_translation_bleu(
         model, corpus, num_batches=eval_batches, seed=seed + 10_000,

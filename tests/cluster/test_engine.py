@@ -197,3 +197,71 @@ def test_deterministic_fifo_at_same_timestamp():
         return order
 
     assert run_once() == run_once() == list(range(10))
+
+
+def test_deadlock_raises_with_diagnostics():
+    """A drained queue with blocked processes names the culprits."""
+    eng = Engine()
+    never = eng.event("never-fired")
+
+    def blocked(eng):
+        yield eng.timeout(1.0)
+        yield never
+
+    eng.process(blocked(eng), name="victim")
+    with pytest.raises(SimulationError) as exc:
+        eng.run()
+    message = str(exc.value)
+    assert "deadlock" in message
+    assert "victim" in message
+    assert "never-fired" in message
+    assert "1 process(es)" in message
+
+
+def test_deadlock_message_truncates_long_process_lists():
+    eng = Engine()
+    never = eng.event("never")
+
+    def blocked(eng):
+        yield never
+
+    for i in range(12):
+        eng.process(blocked(eng), name=f"p{i}")
+    with pytest.raises(SimulationError) as exc:
+        eng.run()
+    message = str(exc.value)
+    assert "12 process(es)" in message
+    assert "... and 4 more" in message
+
+
+def test_run_until_suppresses_deadlock_check():
+    """Stopping early legitimately strands in-flight processes."""
+    eng = Engine()
+
+    def waits(eng):
+        yield eng.timeout(10.0)
+
+    eng.process(waits(eng))
+    assert eng.run(until=1.0) == 1.0  # no raise
+    assert eng.run() == 10.0  # finishing cleanly later is fine
+
+
+def test_deadlock_on_unreleased_resource():
+    eng = Engine()
+    res = Resource(eng, name="nic")
+
+    def hog(eng, res):
+        yield res.request()  # acquired, never released
+        yield eng.timeout(1.0)
+
+    def starved(eng, res):
+        yield eng.timeout(0.5)
+        with (yield from res.acquire()):
+            yield eng.timeout(1.0)
+
+    eng.process(hog(eng, res), name="hog")
+    eng.process(starved(eng, res), name="starved")
+    with pytest.raises(SimulationError) as exc:
+        eng.run()
+    assert "starved" in str(exc.value)
+    assert "req:nic" in str(exc.value)

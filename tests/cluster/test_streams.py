@@ -89,3 +89,26 @@ def test_make_streams():
     assert len(streams[0].all_streams()) == 4
     with pytest.raises(ValueError):
         make_streams(eng, 0)
+
+
+def test_outstanding_names_unfinished_items():
+    eng = Engine()
+    s = Stream(eng, "gpu0:comm")
+    gate = eng.event("gate")
+
+    def quick():
+        yield eng.timeout(1.0)
+
+    def stuck():
+        yield gate
+
+    s.submit(quick, name="a2a-chunk0")
+    s.submit(stuck, name="a2a-chunk1")
+    s.submit(quick, name="a2a-chunk2")
+    assert s.outstanding() == ["a2a-chunk0", "a2a-chunk1", "a2a-chunk2"]
+    assert eng.run(until=5.0) == 1.0  # queue drains at t=1
+    # chunk0 finished; chunk1 blocks the FIFO, chunk2 behind it.
+    assert s.outstanding() == ["a2a-chunk1", "a2a-chunk2"]
+    gate.succeed()
+    eng.run()
+    assert s.outstanding() == []

@@ -93,3 +93,41 @@ def test_fig9(capsys):
     out = capsys.readouterr().out
     assert "nccl" in out and "pipe" in out
     assert "OOM" in out  # 1dh at 2 GB
+
+
+def test_faults_demo_straggler(capsys):
+    assert main(["faults", "--slowdown", "2.0"]) == 0
+    out = capsys.readouterr().out
+    assert "healthy makespan" in out
+    assert "faulted makespan" in out
+    assert "2.00x" in out  # optsche+pipe is compute-bound: 2x straggler
+
+
+def test_faults_write_demo_then_load(tmp_path, capsys):
+    plan_path = tmp_path / "plan.json"
+    assert main(
+        ["faults", "--slowdown", "3.0", "--write-demo", str(plan_path)]
+    ) == 0
+    capsys.readouterr()
+    assert json.loads(plan_path.read_text())["stragglers"]
+    assert main(["faults", "--plan", str(plan_path)]) == 0
+    assert "3.00x" in capsys.readouterr().out
+
+
+def test_a2a_with_fault_plan(tmp_path, capsys):
+    from repro.faults import FaultPlan, TransientFaults, save_fault_plan
+
+    plan_path = tmp_path / "plan.json"
+    save_fault_plan(
+        FaultPlan(
+            seed=7,
+            transient=TransientFaults(probability=0.2, max_retries=8),
+        ),
+        plan_path,
+    )
+    assert main(
+        ["a2a", "--algo", "pipe", "--size", "1e7",
+         "--faults", str(plan_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "transient failures" in out and "retries" in out

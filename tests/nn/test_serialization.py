@@ -79,3 +79,58 @@ def test_moe_model_checkpoint(tmp_path, rng):
     np.testing.assert_array_equal(
         clone(tokens).data, model(tokens).data
     )
+
+
+def test_crash_mid_save_never_exposes_truncated_checkpoint(
+    tmp_path, monkeypatch
+):
+    """A crash while writing must leave the previous checkpoint intact
+    (atomic temp-file + os.replace publish)."""
+    import repro.nn.serialization as ser
+
+    model = make_model(0)
+    path = tmp_path / "model.npz"
+    save_checkpoint(model, path, metadata={"step": 1})
+
+    real_savez = np.savez
+
+    def crashing_savez(fh, **payload):
+        # Write a partial, corrupt prefix of the archive, then die —
+        # simulating power loss / OOM-kill mid-serialization.
+        fh.write(b"PK\x03\x04 partial garbage")
+        raise RuntimeError("simulated crash mid-write")
+
+    monkeypatch.setattr(ser.np, "savez", crashing_savez)
+    with pytest.raises(RuntimeError, match="simulated crash"):
+        save_checkpoint(make_model(1), path, metadata={"step": 2})
+    monkeypatch.setattr(ser.np, "savez", real_savez)
+
+    # No temp debris, and the visible checkpoint is the old, valid one.
+    assert [p.name for p in tmp_path.iterdir()] == ["model.npz"]
+    meta = load_checkpoint(make_model(2), path)
+    assert meta == {"step": 1}
+
+
+def test_crash_before_first_save_leaves_nothing(tmp_path, monkeypatch):
+    import repro.nn.serialization as ser
+
+    def crashing_savez(fh, **payload):
+        fh.write(b"junk")
+        raise RuntimeError("boom")
+
+    monkeypatch.setattr(ser.np, "savez", crashing_savez)
+    path = tmp_path / "fresh.npz"
+    with pytest.raises(RuntimeError):
+        save_checkpoint(make_model(0), path)
+    assert not path.exists()
+    assert list(tmp_path.iterdir()) == []
+    with pytest.raises(FileNotFoundError):
+        load_checkpoint(make_model(0), path)
+
+
+def test_save_still_appends_npz_suffix(tmp_path):
+    """Suffix-less destinations keep numpy's historical behaviour."""
+    model = make_model(0)
+    save_checkpoint(model, tmp_path / "bare")
+    assert (tmp_path / "bare.npz").exists()
+    assert load_checkpoint(make_model(1), tmp_path / "bare.npz") == {}

@@ -277,3 +277,98 @@ def test_corrupt_cache_ignored(tmp_path):
     header, entries = read_cache_file(cache_path)
     assert header["version"] == CACHE_VERSION
     assert len(entries) == 1
+
+
+def test_torn_line_quarantined_to_bad_sidecar(tmp_path):
+    """Corrupt lines move to ``<path>.bad`` instead of vanishing."""
+    path = tmp_path / "cache.json"
+    cache = SweepCache(path)
+    cache.put("whole", {"n": 1})
+    cache.save()
+    with path.open("a") as fh:
+        fh.write('{"key": "torn", "rec')  # killed mid-append
+    reloaded = SweepCache(path)
+    assert reloaded.quarantined_lines == 1
+    assert reloaded.get("whole") == {"n": 1}
+    # The garbage now lives in the sidecar, verbatim.
+    assert reloaded.bad_path == path.with_suffix(".json.bad")
+    assert '{"key": "torn", "rec' in reloaded.bad_path.read_text()
+    # ... and the main file was compacted clean of it.
+    assert "torn" not in path.read_text()
+    header, entries = read_cache_file(path)
+    assert entries == {"whole": {"n": 1}}
+    # A second load finds nothing left to quarantine.
+    assert SweepCache(path).quarantined_lines == 0
+
+
+def test_torn_write_then_concurrent_writer_append(tmp_path):
+    """A torn write never poisons a concurrent writer's append.
+
+    Writer A appends a good entry; some writer dies mid-append leaving
+    a partial line with no trailing newline; A (which never reloads)
+    appends again.  The newline guard keeps A's entry on its own line,
+    so a fresh reader recovers both good entries and quarantines only
+    the torn fragment.
+    """
+    path = tmp_path / "cache.json"
+    writer = SweepCache(path)
+    writer.put("first", {"n": 1})
+    writer.save()
+    with path.open("a") as fh:
+        fh.write('{"key": "torn", "rec')  # no newline, no close
+    writer.put("second", {"n": 2})
+    writer.save()  # concurrent append, unaware of the torn line
+
+    reader = SweepCache(path)
+    assert reader.get("first") == {"n": 1}
+    assert reader.get("second") == {"n": 2}
+    assert len(reader) == 2
+    assert reader.quarantined_lines == 1
+    assert '{"key": "torn", "rec' in reader.bad_path.read_text()
+    _, entries = read_cache_file(path)
+    assert entries == {"first": {"n": 1}, "second": {"n": 2}}
+
+
+def test_fully_corrupt_file_quarantines_every_line(tmp_path):
+    """A file that is neither JSONL nor legacy JSON is quarantined
+    wholesale, and the cache starts fresh (see
+    ``test_corrupt_cache_ignored`` for the no-sidecar half)."""
+    path = tmp_path / "cache.json"
+    path.write_text("{not json\nstill not json\n")
+    cache = SweepCache(path)
+    assert len(cache) == 0
+    assert cache.quarantined_lines == 2
+    bad = cache.bad_path.read_text().splitlines()
+    assert bad == ["{not json", "still not json"]
+
+
+def test_stale_version_is_not_quarantined(tmp_path):
+    """Old-but-valid caches are discarded, not treated as corruption."""
+    path = tmp_path / "cache.json"
+    path.write_text(
+        json.dumps({"version": CACHE_VERSION + 1, "format": CACHE_FORMAT})
+        + "\n"
+        + json.dumps({"key": "k", "record": {}})
+        + "\n"
+    )
+    cache = SweepCache(path)
+    assert len(cache) == 0
+    assert cache.quarantined_lines == 0
+    assert not cache.bad_path.exists()
+
+
+def test_quarantine_sidecar_accumulates_across_loads(tmp_path):
+    """Each load appends its victims; earlier quarantines survive."""
+    path = tmp_path / "cache.json"
+    cache = SweepCache(path)
+    cache.put("k", {"n": 1})
+    cache.save()
+    with path.open("a") as fh:
+        fh.write("garbage-one\n")
+    SweepCache(path)  # quarantines garbage-one, compacts
+    with path.open("a") as fh:
+        fh.write("garbage-two\n")
+    cache = SweepCache(path)
+    assert cache.quarantined_lines == 1
+    bad = cache.bad_path.read_text().splitlines()
+    assert bad == ["garbage-one", "garbage-two"]
