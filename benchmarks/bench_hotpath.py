@@ -20,7 +20,14 @@ Both the top-k and the expert-choice gate are timed — the latter
 emits the flat expert-major sparse form, the case that used to fall
 back to the dense einsums.  The training-step row compounds the
 levers: dense dispatch + loop experts (the original reference hot
-path) against sparse dispatch + batched experts (today's default).
+path) against sparse dispatch + batched experts (the optimized
+pair; the process-wide expert default is now ``grouped``).
+
+The ``overlap`` section sweeps the chunked task-graph executor
+(``pipeline="overlap"``) against the sequential schedule across
+partition degrees r, with the zfp codec and the 1 Gb/s wire-time
+model enabled — the ScheMoE Figure-9-style sync-vs-overlap
+comparison, bit-identical outputs asserted before timing.
 
 Emits a machine-readable ``BENCH_hotpath.json`` at the repository
 root (plus the usual ``benchmarks/out/`` block) so the perf
@@ -96,6 +103,26 @@ FULL_GROUPED = {
     "capacity_factors": [1.0, 2.0, 4.0, 8.0],
     "headline_cf": 4.0,
 }
+#: Sync-vs-overlap acceptance configuration.  One core cannot overlap
+#: two CPU-bound threads, so compute/compute overlap is off the table
+#: here; what the pipeline hides is *wire time* — the link-occupancy
+#: model (`link_bandwidth`) sleeps for the cross-worker bytes each A2A
+#: ships, exactly the resource ScheMoE hides behind expert GEMMs.  At
+#: 1 Gb/s the A2A share of a step lands in the paper's Table-1 range
+#: (30-60%), scaled to this substrate's ~50 GFLOP/s GEMM throughput.
+FULL_OVERLAP = {
+    "tokens": 4096,
+    "experts": 32,
+    "top_k": 2,
+    "model_dim": 1024,
+    "hidden_dim": 512,
+    "capacity_factor": 2.0,
+    "workers": 4,
+    "compressor": "zfp",
+    "link_gbps": 1.0,
+    "num_chunks_sweep": [1, 2, 4, 8],
+    "headline_chunks": 4,
+}
 TINY = {"tokens": 64, "experts": 4, "top_k": 2, "model_dim": 16}
 TINY_STEP = {
     "tokens": 64,
@@ -120,6 +147,19 @@ TINY_GROUPED = {
     "hidden_dim": 32,
     "capacity_factors": [1.0, 4.0],
     "headline_cf": 4.0,
+}
+TINY_OVERLAP = {
+    "tokens": 64,
+    "experts": 4,
+    "top_k": 2,
+    "model_dim": 16,
+    "hidden_dim": 32,
+    "capacity_factor": 2.0,
+    "workers": 2,
+    "compressor": "zfp",
+    "link_gbps": 1.0,
+    "num_chunks_sweep": [1, 2],
+    "headline_chunks": 2,
 }
 
 
@@ -442,6 +482,76 @@ def bench_grouped(cfg: dict, repeats: int) -> dict:
     }
 
 
+def bench_overlap(cfg: dict, repeats: int) -> dict:
+    """Chunked task-graph pipeline vs the sequential schedule.
+
+    Runs the expert-parallel forward through ``ExpertParallelGroup``
+    in both pipeline modes across a sweep of partition degrees
+    (``num_chunks``), with the codec and the wire-time link model
+    enabled.  Outputs are asserted *bit-identical* between modes
+    before timing — both drive the same task callables, only the
+    interleaving differs.
+    """
+    from repro.compression import get_compressor
+    from repro.moe.parallel import ExpertParallelGroup
+
+    rng = np.random.default_rng(0)
+    layer = MoELayer(
+        cfg["model_dim"],
+        cfg["hidden_dim"],
+        cfg["experts"],
+        rng,
+        top_k=cfg["top_k"],
+        capacity_factor=cfg["capacity_factor"],
+        compressor=get_compressor(cfg["compressor"]),
+        expert_impl="grouped",
+    ).eval()
+    data = rng.standard_normal(
+        (cfg["tokens"], cfg["model_dim"])
+    ).astype(np.float32)
+    shards = list(np.split(data, cfg["workers"]))
+    bandwidth = cfg["link_gbps"] * 1e9 / 8
+
+    rows = []
+    for num_chunks in cfg["num_chunks_sweep"]:
+        groups = {
+            pipeline: ExpertParallelGroup(
+                layer,
+                cfg["workers"],
+                pipeline=pipeline,
+                num_chunks=num_chunks,
+                link_bandwidth=bandwidth,
+            )
+            for pipeline in ("sync", "overlap")
+        }
+        outs = {
+            pipeline: group.forward_concatenated(shards)
+            for pipeline, group in groups.items()
+        }
+        np.testing.assert_array_equal(outs["overlap"], outs["sync"])
+        sync_s = _best_of(lambda: groups["sync"].forward(shards), repeats)
+        overlap_s = _best_of(
+            lambda: groups["overlap"].forward(shards), repeats
+        )
+        rows.append({
+            "num_chunks": num_chunks,
+            "sync_s": sync_s,
+            "overlap_s": overlap_s,
+            "speedup": sync_s / overlap_s,
+        })
+
+    headline = next(
+        r for r in rows if r["num_chunks"] == cfg["headline_chunks"]
+    )
+    return {
+        "config": {
+            k: v for k, v in cfg.items() if k != "num_chunks_sweep"
+        },
+        "by_num_chunks": rows,
+        "headline": headline,
+    }
+
+
 def bench_train_step(cfg: dict, repeats: int) -> dict:
     """One full MoE-layer training step (fwd + loss + bwd) per mode.
 
@@ -488,10 +598,12 @@ def run_hotpath(tiny: bool = False, repeats: int = 3) -> dict:
     step_cfg = TINY_STEP if tiny else FULL_STEP
     bank_cfg = TINY_BANK if tiny else FULL_BANK
     grouped_cfg = TINY_GROUPED if tiny else FULL_GROUPED
+    overlap_cfg = TINY_OVERLAP if tiny else FULL_OVERLAP
     routing = bench_routing(routing_cfg, repeats)
     routing_ec = bench_routing_ec(routing_cfg, repeats)
     bank = bench_expert_bank(bank_cfg, repeats)
     grouped = bench_grouped(grouped_cfg, repeats)
+    overlap = bench_overlap(overlap_cfg, repeats)
     step = bench_train_step(step_cfg, repeats)
     return {
         "bench": "hotpath",
@@ -500,8 +612,10 @@ def run_hotpath(tiny: bool = False, repeats: int = 3) -> dict:
         "routing_expert_choice": routing_ec,
         "expert_bank": bank,
         "grouped": grouped,
+        "overlap": overlap,
         "train_step": step,
         "acceptance": {
+            "overlap_speedup": overlap["headline"]["speedup"],
             "dispatch_combine_speedup": routing[
                 "dispatch_combine_fwd_bwd"
             ]["speedup"],
@@ -584,6 +698,23 @@ def render(report: dict) -> str:
         f"grouped step-time spread across cf sweep: "
         f"{grouped['grouped_cf_flatness']:.2f}x (1.00x = perfectly flat)"
     )
+    overlap = report["overlap"]
+    oc = overlap["config"]
+    lines += [
+        "",
+        (
+            f"pipeline overlap vs sync (P={oc['workers']} "
+            f"codec={oc['compressor']} link={oc['link_gbps']:g} Gb/s):"
+        ),
+        f"{'chunks':>6} {'sync':>10} {'overlap':>10} {'speedup':>8}",
+    ]
+    for row in overlap["by_num_chunks"]:
+        lines.append(
+            f"{row['num_chunks']:>6d} "
+            f"{row['sync_s'] * 1e3:>8.1f}ms "
+            f"{row['overlap_s'] * 1e3:>8.1f}ms "
+            f"{row['speedup']:>7.2f}x"
+        )
     return "\n".join(lines)
 
 
@@ -607,13 +738,16 @@ def test_hotpath_sparse_speedup(benchmark):
     # bank beats the per-expert loop >= 3x at E=32, M=1024; the
     # capacity-free grouped path beats the batched capacity buffer
     # >= 1.5x on the low-occupancy cf=4.0 config and stays ~flat
-    # across cf in {1, 2, 4, 8}; and a full training step is
+    # across cf in {1, 2, 4, 8}; the chunked pipeline hides >= 15%
+    # of the sync step at the headline partition degree (E=32,
+    # M=1024, codec + wire model on); and a full training step is
     # measurably faster end-to-end.
     assert report["acceptance"]["dispatch_combine_speedup"] >= 5.0
     assert report["acceptance"]["ec_dispatch_combine_speedup"] >= 5.0
     assert report["acceptance"]["expert_bank_speedup"] >= 3.0
     assert report["acceptance"]["grouped_vs_batched_speedup"] >= 1.5
     assert report["acceptance"]["grouped_cf_flatness"] <= 2.0
+    assert report["acceptance"]["overlap_speedup"] >= 1.15
     assert report["acceptance"]["train_step_speedup"] > 1.2
 
 
@@ -636,6 +770,7 @@ def main() -> None:
         assert report["acceptance"]["expert_bank_speedup"] >= 3.0
         assert report["acceptance"]["grouped_vs_batched_speedup"] >= 1.5
         assert report["acceptance"]["grouped_cf_flatness"] <= 2.0
+        assert report["acceptance"]["overlap_speedup"] >= 1.15
 
 
 if __name__ == "__main__":

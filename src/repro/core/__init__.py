@@ -13,6 +13,13 @@ from .imbalance import BALANCED, RoutingSkew
 from .model_executor import ModelExecutionReport, ModelExecutor
 from .moe_layer import LayerPlan, ScheMoELayer
 from .profiler import LinearPerfModel, Profiler
+from .runtime import (
+    PIPELINE_MODES,
+    StreamExecutor,
+    chunk_bounds,
+    run_inline,
+    validate_pipeline,
+)
 from .scheduler import (
     BruteForceScheduler,
     ChunkPipelineScheduler,
@@ -58,8 +65,10 @@ __all__ = [
     "ModelExecutor",
     "OptScheScheduler",
     "PARAM_STATE_BYTES",
+    "PIPELINE_MODES",
     "Profiler",
     "RoutingSkew",
+    "StreamExecutor",
     "ScheMoELayer",
     "ScheduleResult",
     "Scheduler",
@@ -70,6 +79,7 @@ __all__ = [
     "TaskDurations",
     "TaskKind",
     "available_schedulers",
+    "chunk_bounds",
     "dense_param_count",
     "estimate_memory_bytes",
     "get_scheduler",
@@ -77,8 +87,10 @@ __all__ = [
     "make_tasks",
     "register_plugins",
     "register_scheduler",
+    "run_inline",
     "sample_comp_orders",
     "simulate_model_step",
     "simulate_order",
     "valid_comp_orders",
+    "validate_pipeline",
 ]

@@ -37,6 +37,8 @@ class TransformerLM(Module):
         dropout: float = 0.0,
         seed: int = 0,
         expert_impl: Optional[str] = None,
+        pipeline: str = "sync",
+        num_chunks: int = 1,
     ):
         super().__init__()
         rng = np.random.default_rng(seed)
@@ -60,6 +62,8 @@ class TransformerLM(Module):
                         capacity_factor=capacity_factor,
                         compressor=compressor,
                         expert_impl=expert_impl,
+                        pipeline=pipeline,
+                        num_chunks=num_chunks,
                     ),
                     rng,
                     causal=True,

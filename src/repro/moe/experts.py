@@ -15,7 +15,7 @@ MegaBlocks make for exactly this loop-of-small-GEMMs pathology.
 
 Three execution strategies share the parameters:
 
-* ``expert_impl="batched"`` (default) — two ``bmm`` calls over the
+* ``expert_impl="batched"`` — two ``bmm`` calls over the
   bank, *occupancy-aware*: given the gate's per-expert slot counts,
   only the occupied slot prefix ``[:max_fill]`` of the (E, C, M)
   capacity buffer enters the GEMMs.  The remaining padding slots all
@@ -25,9 +25,9 @@ Three execution strategies share the parameters:
   (~ the routed token count N under balanced routing) instead of
   ``E * C``, while the output stays bit-identical to running the FFN
   over every slot.
-* ``expert_impl="grouped"`` — *capacity-free*, MegaBlocks-style: the
-  flat routed rows, sorted by expert, flow through
-  :func:`~repro.nn.tensor.segment_matmul` — each expert's contiguous
+* ``expert_impl="grouped"`` (the process default) — *capacity-free*,
+  MegaBlocks-style: the flat routed rows, sorted by expert, flow
+  through :func:`~repro.nn.tensor.segment_matmul` — each expert's contiguous
   row segment multiplies its stacked weight slice, occupied experts
   only, no capacity dimension anywhere.  :meth:`Experts.run_grouped`
   is the primitive entry point the MoE layer's grouped hot path and
@@ -70,7 +70,11 @@ from ..nn.tensor import (
 #: Valid values of the ``expert_impl`` switch.
 EXPERT_IMPLS = ("batched", "grouped", "loop")
 
-_default_expert_impl = "batched"
+# The process-wide default.  Grouped (capacity-free segment GEMMs)
+# has been the hot path since the flat-row dispatch landed; batched
+# and loop remain selectable references.  Override per-bank with
+# ``expert_impl=`` or ambiently with :func:`default_expert_impl`.
+_default_expert_impl = "grouped"
 
 
 def validate_expert_impl(impl: str) -> str:

@@ -87,10 +87,11 @@ class MoELayer(Module):
     reference semantics, never a fallback.
 
     ``expert_impl`` selects the expert bank's execution strategy
-    (:mod:`repro.moe.experts`): ``"batched"`` (default) runs all E
+    (:mod:`repro.moe.experts`): ``"batched"`` runs all E
     experts as two batched matmuls over the occupied slot prefix —
     the gate's per-expert fill counts bound the GEMMs — while
-    ``"grouped"`` removes the capacity dimension from the hot path
+    ``"grouped"`` (the process default) removes the capacity dimension
+    from the hot path
     entirely: with sparse dispatch the layer sorts the flat routed
     rows by expert (:func:`~repro.moe.dispatch.dispatch_grouped`),
     runs each expert's contiguous segment through
@@ -103,6 +104,24 @@ class MoELayer(Module):
     (~1e-6) on combined tokens with more than two contributions.
     ``None`` (the default) defers to the ambient process default,
     overridable with :func:`~repro.moe.experts.default_expert_impl`.
+
+    ``pipeline`` and ``num_chunks`` control the chunked task-graph
+    execution of the grouped hot path (paper Section 4): the token
+    batch splits into ``num_chunks`` contiguous ranges and each range
+    runs the dispatch / A2A-codec / grouped-expert / A2A-codec /
+    combine chain as explicit :class:`~repro.core.tasks.Task`s —
+    inline and chunk-major under ``pipeline="sync"``, on the
+    two-stream :class:`~repro.core.runtime.StreamExecutor` under
+    ``pipeline="overlap"`` (real threads; numpy releases the GIL, so
+    chunk i's expert GEMMs overlap chunk i+1's codec transport).  Both
+    modes are bit-identical to each other at any chunk count, and —
+    because chunk boundaries never split a token's assignments and
+    per-row GEMM results don't depend on batching — bit-identical to
+    the unchunked forward without a lossy codec (gradients agree to
+    float reassociation, ~1e-6; a lossy codec quantizes per chunk, so
+    chunking shifts values within codec error).  The default
+    ``num_chunks=1`` with ``pipeline="sync"`` runs exactly the
+    pre-pipeline code path.
     """
 
     def __init__(
@@ -119,8 +138,18 @@ class MoELayer(Module):
         gate_type: str = "topk",
         dispatch_mode: Optional[str] = None,
         expert_impl: Optional[str] = None,
+        pipeline: str = "sync",
+        num_chunks: int = 1,
     ):
         super().__init__()
+        # Imported lazily: repro.core pulls this module back in.
+        from ..core.runtime import validate_pipeline
+
+        self.pipeline = validate_pipeline(pipeline)
+        if num_chunks < 1:
+            raise ValueError(f"num_chunks must be >= 1, got {num_chunks}")
+        self.num_chunks = int(num_chunks)
+        self._executor = None
         if dispatch_mode is None:
             dispatch_mode = _default_dispatch_mode
         if dispatch_mode not in DISPATCH_MODES:
@@ -242,27 +271,32 @@ class MoELayer(Module):
 
         sparse = self.dispatch_mode == "sparse" and gate_out.has_sparse
         if sparse and self.experts.expert_impl == "grouped":
-            # Capacity-free hot path: flat rows sorted by expert, no
-            # (E, C, M) buffer on either side of the expert FFNs.
-            rows, routing = dispatch_grouped(
-                tokens,
-                gate_out.expert_indices,
-                gate_out.slot_indices,
-                gate_out.num_experts,
-                token_indices=gate_out.token_indices,
-            )
-            self.last_dispatched = rows.data
-            rows = self._transport(rows)  # first A2A
-            expert_rows = self.experts.run_grouped(
-                rows, routing.segment_counts
-            )
-            expert_rows = self._transport(expert_rows)  # second A2A
-            merged = combine_grouped(
-                expert_rows,
-                routing,
-                gate_out.gate_weights,
-                gate_out.num_tokens,
-            )
+            if self.num_chunks == 1 and self.pipeline == "sync":
+                # Capacity-free hot path: flat rows sorted by expert,
+                # no (E, C, M) buffer on either side of the expert
+                # FFNs.  This unchunked branch is the pre-pipeline
+                # code, byte for byte.
+                rows, routing = dispatch_grouped(
+                    tokens,
+                    gate_out.expert_indices,
+                    gate_out.slot_indices,
+                    gate_out.num_experts,
+                    token_indices=gate_out.token_indices,
+                )
+                self.last_dispatched = rows.data
+                rows = self._transport(rows)  # first A2A
+                expert_rows = self.experts.run_grouped(
+                    rows, routing.segment_counts
+                )
+                expert_rows = self._transport(expert_rows)  # second A2A
+                merged = combine_grouped(
+                    expert_rows,
+                    routing,
+                    gate_out.gate_weights,
+                    gate_out.num_tokens,
+                )
+            else:
+                merged = self._forward_grouped_chunked(tokens, gate_out)
             if len(original_shape) == 3:
                 return merged.reshape(original_shape)
             return merged
@@ -296,3 +330,129 @@ class MoELayer(Module):
         if len(original_shape) == 3:
             return merged.reshape(original_shape)
         return merged
+
+    def _forward_grouped_chunked(
+        self, tokens: Tensor, gate_out: GateOutput
+    ) -> Tensor:
+        """Chunked task-graph execution of the grouped hot path.
+
+        The batch splits into ``num_chunks`` contiguous token ranges
+        (the paper's partition degree r); each range runs the
+        C1 A1 D1 E C2 A2 D2 chain of :mod:`repro.core.tasks` with real
+        work: C1 = :func:`dispatch_grouped` on the chunk's slice, A1 /
+        A2 = the codec transport hop, E =
+        :meth:`~repro.moe.experts.Experts.run_grouped`, D2 =
+        :func:`combine_grouped` into the chunk's own output rows (D1
+        and C2 have nothing to do single-process — the flat rows *are*
+        the received layout).  Chunk outputs concatenate back in token
+        order.  Every task builds autograd nodes only on its chunk's
+        private subgraph, so the overlap executor's two threads never
+        race on tape state; backward runs later, single-threaded.
+        """
+        from ..core.runtime import (
+            StreamExecutor,
+            chunk_bounds,
+            run_inline,
+        )
+        from ..core.tasks import Task, TaskKind
+        from ..nn.tensor import concatenate
+
+        gate = gate_out
+        r = self.num_chunks
+        bounds = chunk_bounds(gate.num_tokens, r)
+        flat = np.asarray(gate.expert_indices).ndim == 1
+        if flat:
+            owner = np.asarray(gate.token_indices)
+
+        chunks = []
+        for c in range(r):
+            lo, hi = int(bounds[c]), int(bounds[c + 1])
+            if flat:
+                # Flat (N,) layout: pick the assignments whose owning
+                # token falls in the range, re-based to the slice.
+                (pos,) = np.nonzero((owner >= lo) & (owner < hi))
+                chunks.append(
+                    dict(
+                        tokens=tokens[lo:hi],
+                        expert_indices=gate.expert_indices[pos],
+                        slot_indices=gate.slot_indices[pos],
+                        token_indices=owner[pos] - lo,
+                        gate_weights=gate.gate_weights[pos],
+                        num_tokens=hi - lo,
+                    )
+                )
+            else:
+                chunks.append(
+                    dict(
+                        tokens=tokens[lo:hi],
+                        expert_indices=gate.expert_indices[lo:hi],
+                        slot_indices=gate.slot_indices[lo:hi],
+                        token_indices=None,
+                        gate_weights=gate.gate_weights[lo:hi],
+                        num_tokens=hi - lo,
+                    )
+                )
+
+        rows: list = [None] * r
+        routing: list = [None] * r
+        expert_rows: list = [None] * r
+        merged: list = [None] * r
+        dispatched: list = [None] * r
+
+        def c1(c):
+            rows[c], routing[c] = dispatch_grouped(
+                chunks[c]["tokens"],
+                chunks[c]["expert_indices"],
+                chunks[c]["slot_indices"],
+                gate.num_experts,
+                token_indices=chunks[c]["token_indices"],
+            )
+            dispatched[c] = rows[c].data
+
+        def a1(c):
+            rows[c] = self._transport(rows[c])  # first A2A
+
+        def e(c):
+            expert_rows[c] = self.experts.run_grouped(
+                rows[c], routing[c].segment_counts
+            )
+
+        def a2(c):
+            expert_rows[c] = self._transport(expert_rows[c])  # second A2A
+
+        def d2(c):
+            merged[c] = combine_grouped(
+                expert_rows[c],
+                routing[c],
+                chunks[c]["gate_weights"],
+                chunks[c]["num_tokens"],
+            )
+
+        def noop(c):
+            pass
+
+        step = {
+            TaskKind.C1: c1,
+            TaskKind.A1: a1,
+            TaskKind.D1: noop,
+            TaskKind.E: e,
+            TaskKind.C2: noop,
+            TaskKind.A2: a2,
+            TaskKind.D2: d2,
+        }
+        fns = {
+            Task(kind, chunk): (lambda k=kind, c=chunk: step[k](c))
+            for chunk in range(r)
+            for kind in step
+        }
+        if self.pipeline == "overlap":
+            if self._executor is None:
+                self._executor = StreamExecutor()
+            self._executor.run(r, fns)
+        else:
+            run_inline(r, fns)
+
+        # Chunk-major rather than globally expert-sorted, but still
+        # exactly the rows the (chunked) first A2A shipped.
+        self.last_dispatched = np.concatenate(dispatched, axis=0)
+        return concatenate(merged, axis=0)

@@ -14,16 +14,59 @@ numerically identical to this synchronized multi-worker execution
 (`tests/moe/test_parallel_equivalence.py`), so training results
 obtained single-process are exactly what the 32-GPU system would
 produce.
+
+Since the pipelined rewrite the sparse hot path is *chunked* (paper
+Section 4): each worker's shard splits into ``num_chunks`` contiguous
+token ranges, and every chunk runs the seven-task chain
+C1 A1 D1 E C2 A2 D2 of :mod:`repro.core.tasks` with real work —
+
+* C1: build the flat per-destination payloads (rows sorted by expert,
+  plus per-expert segment counts) for the chunk's routed tokens;
+* A1: the dispatch all-to-all — codec roundtrip plus a memcpy into a
+  pooled staging buffer (:class:`~repro.nn.buffer_pool.BufferPool`);
+* D1: each destination assembles its received segments into one
+  contiguous sorted-by-expert row block;
+* E:  grouped expert execution
+  (:meth:`~repro.moe.experts.Experts.run_grouped`, or the per-expert
+  reference loop under ``expert_impl="loop"``);
+* C2: split results back per source, in payload row order;
+* A2: the combine all-to-all (codec + pooled memcpy);
+* D2: the owner merges the chunk's results into its output rows, in
+  the gate's original assignment order.
+
+``pipeline="sync"`` executes the chain chunk-major on the calling
+thread; ``pipeline="overlap"`` drives the identical task callables
+through :class:`~repro.core.runtime.StreamExecutor` — two real FIFO
+streams ordered by a registered scheduling policy (OptSche by
+default), so chunk i's GEMMs overlap chunk i+1's codec/memcpy.  Both
+modes run the same per-task work on disjoint state, and chunks own
+disjoint token ranges, so outputs are bit-identical across modes and
+across ``num_chunks`` (the per-token combine accumulation order is
+preserved exactly; only a lossy codec, whose quantization granularity
+is per payload, makes chunking visible — to codec-sized error).
+
+The dense einsum branch (``dispatch_mode="dense"``) stays the
+unchunked phase-synchronous reference semantics.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from ..compression.base import Compressor
+from ..core.runtime import (
+    StreamExecutor,
+    chunk_bounds,
+    run_inline,
+    validate_pipeline,
+)
+from ..core.scheduler import Scheduler
+from ..core.tasks import Task, TaskKind
+from ..nn.buffer_pool import BufferPool
 from .experts import Experts
 from .layer import MoELayer
 
@@ -52,10 +95,37 @@ class ExpertParallelGroup:
     :class:`MoELayer` (expert ``e`` "lives" on worker
     ``e // experts_per_worker``), so its forward output can be compared
     bit-for-bit against the single-process layer.
+
+    ``num_chunks`` is the paper's partition degree r; ``pipeline``
+    selects synchronous chunk-major execution (``"sync"``) or the
+    two-stream overlap executor (``"overlap"``), whose task order
+    comes from the ``scheduler`` policy (any
+    :func:`~repro.core.scheduler.register_scheduler` name).
+
+    ``link_bandwidth`` (bytes/second, ``None`` = off) adds a wire-time
+    model to the A2A tasks: each chunk's *cross-worker* payload bytes
+    occupy the link for ``bytes / bandwidth`` seconds (a GIL-released
+    wait, like a NIC DMA that burns no CPU) after the codec + staging
+    memcpy.  On the real system the interconnect transfer is exactly
+    this — link occupancy concurrent with the SMs — and it is what
+    ScheMoE hides behind expert GEMMs; the CPU-side codec/memcpy work
+    additionally overlaps wherever cores are free (numpy releases the
+    GIL), but on a core-starved host the wire time is the part of the
+    A2A that can *always* overlap.  Both pipeline modes run the same
+    task closures, so sync pays the same wire time, serially.  The
+    model never touches numerics — outputs are bit-identical with it
+    on or off.
     """
 
     def __init__(
-        self, layer: MoELayer, num_workers: int, dead_workers=()
+        self,
+        layer: MoELayer,
+        num_workers: int,
+        dead_workers=(),
+        pipeline: str = "sync",
+        num_chunks: int = 1,
+        scheduler: Union[str, Scheduler] = "optsche",
+        link_bandwidth: Optional[float] = None,
     ):
         num_experts = layer.gate.num_experts
         if num_workers < 1 or num_experts % num_workers != 0:
@@ -63,9 +133,23 @@ class ExpertParallelGroup:
                 f"num_experts {num_experts} must be divisible by "
                 f"num_workers {num_workers}"
             )
+        if num_chunks < 1:
+            raise ValueError(f"num_chunks must be >= 1, got {num_chunks}")
+        if link_bandwidth is not None and link_bandwidth <= 0:
+            raise ValueError(
+                f"link_bandwidth must be > 0 bytes/s, got {link_bandwidth}"
+            )
+        self.link_bandwidth = link_bandwidth
         self.layer = layer
         self.num_workers = num_workers
         self.experts_per_worker = num_experts // num_workers
+        self.pipeline = validate_pipeline(pipeline)
+        self.num_chunks = int(num_chunks)
+        self._executor = StreamExecutor(scheduler)
+        self._pool = BufferPool()
+        #: Per-task (start, end) seconds of the most recent chunked
+        #: forward (both pipeline modes), for overlap introspection.
+        self.last_timeline: Optional[dict] = None
         self._dead_workers: frozenset = frozenset()
         if dead_workers:
             self.set_dead_workers(dead_workers)
@@ -118,11 +202,58 @@ class ExpertParallelGroup:
     def _owner(self, expert: int) -> int:
         return expert // self.experts_per_worker
 
+    def _occupy_link(self, wire_bytes: int) -> None:
+        """Wire-time model: hold the link for the transfer duration.
+
+        A timed wait, not CPU work — exactly the resource an
+        interconnect transfer occupies — so the overlap executor can
+        hide it behind the computing stream's GEMMs while sync pays it
+        inline.  No-op when ``link_bandwidth`` is None or nothing
+        crossed a worker boundary.
+        """
+        if self.link_bandwidth and wire_bytes:
+            time.sleep(wire_bytes / self.link_bandwidth)
+
     def _apply_codec(self, array: np.ndarray) -> np.ndarray:
         codec: Optional[Compressor] = self.layer.compressor
         if codec is None or codec.bits_per_value >= 32:
             return array
         return codec.roundtrip(array)
+
+    def _validate_shards(self, shards: List[np.ndarray]) -> List[np.ndarray]:
+        if len(shards) != self.num_workers:
+            raise ValueError(
+                f"expected {self.num_workers} shards, got {len(shards)}"
+            )
+        model_dim = self.layer.model_dim
+        out = []
+        for w, shard in enumerate(shards):
+            tokens = np.asarray(shard, dtype=np.float32)
+            if tokens.ndim != 2 or tokens.shape[1] != model_dim:
+                raise ValueError(
+                    f"shard {w} must be (tokens, {model_dim}), got "
+                    f"{tokens.shape}"
+                )
+            out.append(tokens)
+        return out
+
+    def _gate_shards(self, shards: List[np.ndarray]) -> list:
+        """Every worker gates its own shard (shared parameters)."""
+        from ..nn.tensor import Tensor
+
+        gate = self.layer.gate
+        dead_experts = self.dead_experts
+        gate_outputs = []
+        for tokens in shards:
+            out = gate(Tensor(tokens))
+            if dead_experts:
+                # Tokens routed to a dead worker's experts fall back to
+                # the capacity-drop path (combine as zeros, surviving
+                # weights renormalized) before any dispatch happens —
+                # the same degradation MoELayer.set_dead_experts applies.
+                out = out.with_experts_dropped(dead_experts)
+            gate_outputs.append(out)
+        return gate_outputs
 
     # -- the distributed forward pass ---------------------------------------
     def forward(self, shards: List[np.ndarray]) -> List[np.ndarray]:
@@ -132,61 +263,275 @@ class ExpertParallelGroup:
         Returns the per-worker outputs.  Also records
         ``self.last_dispatch_traffic`` / ``self.last_combine_traffic``.
         """
-        if len(shards) != self.num_workers:
-            raise ValueError(
-                f"expected {self.num_workers} shards, got {len(shards)}"
-            )
-        gate = self.layer.gate  # TopKGate or ExpertChoiceGate
-        experts: Experts = self.layer.experts
-        num_experts = gate.num_experts
-        model_dim = self.layer.model_dim
-        workers = range(self.num_workers)
+        shards = self._validate_shards(shards)
+        gate_outputs = self._gate_shards(shards)
+        sparse = self.layer.dispatch_mode == "sparse" and all(
+            out.has_sparse for out in gate_outputs
+        )
+        if sparse:
+            return self._forward_chunked(shards, gate_outputs)
+        return self._forward_dense_reference(shards, gate_outputs)
 
-        # Every worker gates its own shard with the shared capacity
-        # (synchronous training uses the global token count per
-        # worker; here shards may differ, so each uses its own).
+    def forward_concatenated(self, shards: List[np.ndarray]) -> np.ndarray:
+        """Forward then concatenate outputs in worker order."""
+        return np.concatenate(self.forward(shards), axis=0)
+
+    # -- chunked task-graph execution (the sparse hot path) ------------------
+    def _forward_chunked(
+        self, shards: List[np.ndarray], gate_outputs: list
+    ) -> List[np.ndarray]:
         from ..nn.tensor import Tensor
 
+        experts: Experts = self.layer.experts
+        num_experts = self.layer.gate.num_experts
+        model_dim = self.layer.model_dim
+        epw = self.experts_per_worker
+        workers = range(self.num_workers)
         dead_workers = self._dead_workers
-        dead_experts = self.dead_experts
-        gate_outputs = []
+        r = self.num_chunks
+        pool = self._pool
+
+        # Per-worker routing metadata, gated once over the full shard
+        # (chunking never re-gates: capacity, drops and weights are
+        # those of the whole shard, so results match num_chunks=1).
+        token_ids: List[np.ndarray] = []
+        expert_ids: List[np.ndarray] = []
+        weights: List[np.ndarray] = []
+        members: List[List[np.ndarray]] = []  # [w][c] kept positions
         for w in workers:
-            tokens = np.asarray(shards[w], dtype=np.float32)
-            if tokens.ndim != 2 or tokens.shape[1] != model_dim:
-                raise ValueError(
-                    f"shard {w} must be (tokens, {model_dim}), got "
-                    f"{tokens.shape}"
+            t_ids, e_ids, _, w_idx = gate_outputs[w]._kept_coords()
+            token_ids.append(t_ids)
+            expert_ids.append(e_ids)
+            weights.append(gate_outputs[w].gate_weights.data[w_idx])
+            bounds = chunk_bounds(shards[w].shape[0], r)
+            chunk_of = np.searchsorted(bounds, t_ids, side="right") - 1
+            members.append(
+                [np.nonzero(chunk_of == c)[0] for c in range(r)]
+            )
+
+        outputs = [
+            np.zeros((shards[w].shape[0], model_dim), dtype=np.float32)
+            for w in workers
+        ]
+        dispatch_traffic = np.zeros((self.num_workers, self.num_workers))
+        combine_traffic = np.zeros((self.num_workers, self.num_workers))
+
+        # Mutable per-chunk state handed from task to task.  Keys are
+        # chunk-scoped, every entry is written by exactly one task and
+        # consumed (popped) by its chain successor, so the two streams
+        # never race on it.
+        pending_dispatch: Dict[int, list] = {}
+        inbox: Dict[tuple, list] = {}
+        assembled: Dict[tuple, tuple] = {}
+        expert_out: Dict[tuple, tuple] = {}
+        pending_return: Dict[int, list] = {}
+        returned: Dict[tuple, list] = {}
+        return_map: Dict[tuple, np.ndarray] = {}
+
+        def compress_dispatch(c: int) -> None:
+            """C1: per-source flat payloads for the chunk's tokens."""
+            payloads = []
+            for src in workers:
+                sel = members[src][c]
+                if sel.size == 0:
+                    continue
+                e_sel = expert_ids[src][sel]
+                order = np.argsort(e_sel, kind="stable")
+                sorted_sel = sel[order]
+                counts = np.bincount(
+                    e_sel, minlength=num_experts
+                ).astype(np.int64)
+                offset = 0
+                for dst in workers:
+                    dst_counts = counts[dst * epw : (dst + 1) * epw]
+                    n_dst = int(dst_counts.sum())
+                    if n_dst == 0 or dst in dead_workers:
+                        continue
+                    seg = slice(offset, offset + n_dst)
+                    rows = shards[src][
+                        token_ids[src][sorted_sel[seg]]
+                    ]
+                    payloads.append((src, dst, rows, dst_counts))
+                    # Positions within the chunk's kept-order list —
+                    # how D2 puts returned rows back in gate order.
+                    return_map[(c, src, dst)] = order[seg]
+                    offset += n_dst
+            pending_dispatch[c] = payloads
+
+        def a2a_dispatch(c: int) -> None:
+            """A1: codec roundtrip + memcpy into a pooled staging buffer."""
+            wire_bytes = 0
+            for src, dst, rows, counts in pending_dispatch.pop(c):
+                buf = pool.take_copy(self._apply_codec(rows))
+                dispatch_traffic[src, dst] += buf.nbytes
+                if src != dst:
+                    wire_bytes += buf.nbytes
+                inbox.setdefault((c, dst), []).append((src, buf, counts))
+            self._occupy_link(wire_bytes)
+
+        def decompress_dispatch(c: int) -> None:
+            """D1: each destination assembles one sorted-by-expert block."""
+            for dst in workers:
+                entries = inbox.pop((c, dst), None)
+                if not entries:
+                    continue
+                src_offsets = [
+                    np.concatenate([[0], np.cumsum(counts)])
+                    for _, _, counts in entries
+                ]
+                pieces = []
+                backs = [[] for _ in entries]
+                counts_full = np.zeros(num_experts, dtype=np.int64)
+                pos = 0
+                # Expert-major, sources in rank order within an expert
+                # — the contiguous-segment layout run_grouped consumes.
+                for e_local in range(epw):
+                    for i, (src, buf, counts) in enumerate(entries):
+                        n = int(counts[e_local])
+                        if n == 0:
+                            continue
+                        lo = int(src_offsets[i][e_local])
+                        pieces.append(buf[lo : lo + n])
+                        backs[i].append(np.arange(pos, pos + n))
+                        pos += n
+                    counts_full[dst * epw + e_local] = sum(
+                        int(counts[e_local]) for _, _, counts in entries
+                    )
+                rows = np.concatenate(pieces, axis=0)
+                back_index = [
+                    (entries[i][0], np.concatenate(backs[i]))
+                    for i in range(len(entries))
+                ]
+                assembled[(c, dst)] = (rows, counts_full, back_index)
+                for _, buf, _ in entries:
+                    pool.release(buf)
+
+        def run_experts(c: int) -> None:
+            """E: grouped (or reference loop) expert execution."""
+            for dst in workers:
+                item = assembled.pop((c, dst), None)
+                if item is None:
+                    continue
+                rows, counts_full, back_index = item
+                if experts.expert_impl == "loop":
+                    outs, offset = [], 0
+                    for e_local in range(epw):
+                        n = int(counts_full[dst * epw + e_local])
+                        if n == 0:
+                            continue
+                        outs.append(
+                            experts.run_expert(
+                                dst * epw + e_local,
+                                Tensor(rows[offset : offset + n]),
+                            ).data
+                        )
+                        offset += n
+                    out_rows = np.concatenate(outs, axis=0)
+                else:
+                    out_rows = experts.run_grouped(
+                        Tensor(rows), counts_full
+                    ).data
+                expert_out[(c, dst)] = (out_rows, back_index)
+
+        def compress_combine(c: int) -> None:
+            """C2: split results back per source, in payload row order."""
+            returns = []
+            for dst in workers:
+                item = expert_out.pop((c, dst), None)
+                if item is None:
+                    continue
+                out_rows, back_index = item
+                for src, idx in back_index:
+                    returns.append((dst, src, out_rows[idx]))
+            pending_return[c] = returns
+
+        def a2a_combine(c: int) -> None:
+            """A2: codec roundtrip + pooled memcpy back to the owner."""
+            wire_bytes = 0
+            for dst, src, rows in pending_return.pop(c):
+                buf = pool.take_copy(self._apply_codec(rows))
+                combine_traffic[dst, src] += buf.nbytes
+                if src != dst:
+                    wire_bytes += buf.nbytes
+                returned.setdefault((c, src), []).append((dst, buf))
+            self._occupy_link(wire_bytes)
+
+        def decompress_combine(c: int) -> None:
+            """D2: weighted merge into the chunk's (disjoint) token rows."""
+            for w in workers:
+                sel = members[w][c]
+                if sel.size == 0:
+                    continue
+                contrib = np.zeros(
+                    (sel.size, model_dim), dtype=np.float32
                 )
-            out = gate(Tensor(tokens))
-            if dead_experts:
-                # Tokens routed to a dead worker's experts fall back to
-                # the capacity-drop path (combine as zeros, surviving
-                # weights renormalized) before any dispatch happens —
-                # the same degradation MoELayer.set_dead_experts applies.
-                out = out.with_experts_dropped(dead_experts)
-            gate_outputs.append(out)
+                for dst, buf in returned.pop((c, w), []):
+                    contrib[return_map.pop((c, w, dst))] = buf
+                    pool.release(buf)
+                # Accumulate in the gate's original assignment order:
+                # bit-identical to the unchunked merge because every
+                # contribution to one token lives in this chunk, in
+                # the same relative order.
+                np.add.at(
+                    outputs[w],
+                    token_ids[w][sel],
+                    weights[w][sel][:, None] * contrib,
+                )
+
+        step = {
+            TaskKind.C1: compress_dispatch,
+            TaskKind.A1: a2a_dispatch,
+            TaskKind.D1: decompress_dispatch,
+            TaskKind.E: run_experts,
+            TaskKind.C2: compress_combine,
+            TaskKind.A2: a2a_combine,
+            TaskKind.D2: decompress_combine,
+        }
+
+        def bind(kind: TaskKind, chunk: int):
+            return lambda: step[kind](chunk)
+
+        fns = {
+            Task(kind, chunk): bind(kind, chunk)
+            for chunk in range(r)
+            for kind in step
+        }
+        if self.pipeline == "overlap":
+            self.last_timeline = self._executor.run(r, fns)
+        else:
+            self.last_timeline = run_inline(r, fns)
+
+        self.last_dispatch_traffic = A2ATraffic(dispatch_traffic)
+        self.last_combine_traffic = A2ATraffic(combine_traffic)
+        return outputs
+
+    # -- the dense einsum reference (unchunked, phase-synchronous) -----------
+    def _forward_dense_reference(
+        self, shards: List[np.ndarray], gate_outputs: list
+    ) -> List[np.ndarray]:
+        """GShard reference semantics: capacity-padded (E, C, M) blocks.
+
+        Kept exactly as the original phase-synchronous execution —
+        dispatch all blocks, exchange, compute, exchange, combine —
+        because its value is being the executable reference, not being
+        fast; ``pipeline``/``num_chunks`` are ignored here.
+        """
+        from ..nn.tensor import Tensor
+
+        experts: Experts = self.layer.experts
+        num_experts = self.layer.gate.num_experts
+        model_dim = self.layer.model_dim
+        workers = range(self.num_workers)
+        dead_workers = self._dead_workers
 
         # Dispatch: worker w builds, for each expert e, its (C, M)
         # capacity-padded buffer — the block it sends to e's owner.
-        # Sparse gate outputs (token-major top-k and flat
-        # expert-choice alike) fill the buffers by direct index
-        # assignment (each (expert, slot) holds at most one token);
-        # the dense mode uses the reference einsum.
-        sparse = self.layer.dispatch_mode == "sparse"
         send_blocks = []  # [w][e] -> (C_w, M)
         for w in workers:
             out = gate_outputs[w]
-            tokens = np.asarray(shards[w], dtype=np.float32)
-            if sparse and out.has_sparse:
-                blocks = np.zeros(
-                    (num_experts, out.capacity, model_dim), dtype=np.float32
-                )
-                t_ids, e_ids, s_ids, _ = out._kept_coords()
-                blocks[e_ids, s_ids] = tokens[t_ids]
-            else:
-                blocks = np.einsum(
-                    "tm,tec->ecm", tokens, out.dispatch_mask
-                )
+            blocks = np.einsum(
+                "tm,tec->ecm", shards[w], out.dispatch_mask
+            )
             send_blocks.append(blocks)
 
         # First all-to-all (dispatch): exchange expert blocks.
@@ -207,15 +552,10 @@ class ExpertParallelGroup:
                 inbox[dst][src][expert] = payload
         self.last_dispatch_traffic = A2ATraffic(dispatch_traffic)
 
-        # Local expert computation on every worker.  Each worker runs
-        # *all* its received blocks in one grouped pass: the blocks,
-        # sorted by expert (sources stay in rank order within each
-        # expert), are contiguous per-expert row segments — exactly
-        # the form ``Experts.run_grouped`` executes through
-        # ``segment_matmul`` — so a worker owning 8 experts fed by 4
-        # peers issues 8 segment GEMMs instead of 32 ``run_expert``
-        # calls.  ``expert_impl="loop"`` keeps the one-block-at-a-time
-        # reference path.
+        # Local expert computation on every worker, one grouped pass
+        # over the received blocks sorted by expert (sources stay in
+        # rank order within each expert); ``expert_impl="loop"`` keeps
+        # the one-block-at-a-time reference path.
         outbox = [[None] * self.num_workers for _ in workers]  # [src][dst]
         combine_traffic = np.zeros((self.num_workers, self.num_workers))
         for w in workers:
@@ -258,27 +598,14 @@ class ExpertParallelGroup:
         outputs = []
         for w in workers:
             gate_out = gate_outputs[w]
-            num_tokens = gate_out.num_tokens
             expert_out = np.zeros(
                 (num_experts, gate_out.capacity, model_dim), dtype=np.float32
             )
             for owner in workers:
                 for expert, out in outbox[owner][w].items():
                     expert_out[expert] = out
-            if sparse and gate_out.has_sparse:
-                t_ids, e_ids, s_ids, w_idx = gate_out._kept_coords()
-                w_sel = gate_out.gate_weights.data[w_idx]
-                merged = np.zeros((num_tokens, model_dim), dtype=np.float32)
-                np.add.at(
-                    merged, t_ids, w_sel[:, None] * expert_out[e_ids, s_ids]
-                )
-            else:
-                merged = np.einsum(
-                    "ecm,tec->tm", expert_out, gate_out.combine_weights.data
-                )
+            merged = np.einsum(
+                "ecm,tec->tm", expert_out, gate_out.combine_weights.data
+            )
             outputs.append(merged.astype(np.float32))
         return outputs
-
-    def forward_concatenated(self, shards: List[np.ndarray]) -> np.ndarray:
-        """Forward then concatenate outputs in worker order."""
-        return np.concatenate(self.forward(shards), axis=0)

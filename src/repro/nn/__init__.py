@@ -8,6 +8,7 @@ on this substrate for real.
 """
 
 from . import functional
+from .buffer_pool import BufferPool
 from .init import kaiming_normal, normal, xavier_uniform
 from .modules import (
     Dropout,
@@ -42,6 +43,7 @@ from .tensor import (
 
 __all__ = [
     "Adam",
+    "BufferPool",
     "Dropout",
     "Embedding",
     "FeedForward",

@@ -1,0 +1,84 @@
+"""A reusable pool of numpy buffers for the pipelined dispatch path.
+
+The chunked expert-parallel executor moves one flat ``(n, M)`` payload
+per (source, destination, chunk) triple through each all-to-all — with
+``r`` chunks over ``P`` workers that is up to ``2 r P^2`` short-lived
+arrays per forward pass.  Allocating them fresh every chunk churns the
+allocator on exactly the path we are trying to overlap; the real
+system (like any NCCL-based A2A) reuses pinned staging buffers
+instead.  :class:`BufferPool` is that staging area: ``acquire`` hands
+out a cached array of the requested shape/dtype when one is free and
+allocates otherwise, ``release`` returns it for reuse.
+
+The pool is thread-safe — the overlap executor acquires from the
+communication stream while the computing stream releases buffers it
+has drained — and deliberately dumb: exact (shape, dtype) matching,
+bounded per-key free list, no zeroing (callers always overwrite the
+full buffer via ``np.copyto``-style writes before reading).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """Thread-safe free-list of numpy arrays keyed by (shape, dtype).
+
+    ``max_per_key`` bounds how many idle buffers of one shape are
+    retained; extra releases drop the array back to the allocator so a
+    pathological shape mix cannot grow the pool without bound.
+    """
+
+    def __init__(self, max_per_key: int = 16):
+        if max_per_key < 1:
+            raise ValueError(f"max_per_key must be >= 1, got {max_per_key}")
+        self.max_per_key = max_per_key
+        self._free: Dict[Tuple[tuple, np.dtype], List[np.ndarray]] = {}
+        self._lock = threading.Lock()
+        #: Buffers served from the free list / fresh allocations.
+        self.hits = 0
+        self.misses = 0
+
+    def _key(self, shape, dtype) -> Tuple[tuple, np.dtype]:
+        return (tuple(int(s) for s in shape), np.dtype(dtype))
+
+    def acquire(self, shape, dtype=np.float32) -> np.ndarray:
+        """A writable array of exactly ``shape``/``dtype`` (uninitialized)."""
+        key = self._key(shape, dtype)
+        with self._lock:
+            free = self._free.get(key)
+            if free:
+                self.hits += 1
+                return free.pop()
+            self.misses += 1
+        return np.empty(key[0], dtype=key[1])
+
+    def take_copy(self, array: np.ndarray) -> np.ndarray:
+        """A pooled buffer holding a copy of ``array`` — the A2A handoff.
+
+        This is the memcpy into the staging buffer: the caller keeps no
+        obligation to ``array`` afterwards, and the returned buffer goes
+        back via :meth:`release` once the receiver has drained it.
+        """
+        buf = self.acquire(array.shape, array.dtype)
+        np.copyto(buf, array)
+        return buf
+
+    def release(self, array: np.ndarray) -> None:
+        """Return a buffer for reuse.  Only pass arrays you own."""
+        key = self._key(array.shape, array.dtype)
+        with self._lock:
+            free = self._free.setdefault(key, [])
+            if len(free) < self.max_per_key:
+                free.append(array)
+
+    def idle_buffers(self) -> int:
+        """Buffers currently sitting in the free lists (for tests)."""
+        with self._lock:
+            return sum(len(v) for v in self._free.values())

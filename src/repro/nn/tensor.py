@@ -519,8 +519,18 @@ def bmm(a: Tensor, b: Tensor) -> Tensor:
     return Tensor(data)
 
 
+#: Largest per-segment LHS block (rows * K elements) that still gains
+#: from the stacked-GEMM bucket path: beyond ~16 KB of float32 the
+#: fancy-index gather costs more than the per-call overhead it saves
+#: (measured on the bench shapes; 2-d BLAS on a contiguous slice wins).
+_BUCKET_ROW_ELEMS = 4096
+
+
 def segment_matmul(
-    x: Tensor, weight: Tensor, segment_counts: np.ndarray
+    x: Tensor,
+    weight: Tensor,
+    segment_counts: np.ndarray,
+    bucketed: bool = True,
 ) -> Tensor:
     """Differentiable per-segment matmul against a stacked weight bank.
 
@@ -549,6 +559,22 @@ def segment_matmul(
 
     — so one tape node covers the whole bank, like :func:`bmm`, but
     over ragged row groups instead of a fixed capacity dimension.
+
+    With ``bucketed=True`` (the default), occupied *small* segments of
+    equal length are batched into one stacked ``np.matmul`` per size
+    bucket — forward and backward — so balanced large-E routing (many
+    small equal segments, the worst case for per-segment Python
+    dispatch) pays one GEMM call per distinct size instead of one per
+    expert.  Batched matmul computes each slice exactly as the
+    corresponding 2-d product (see :func:`bmm`), so results are
+    bit-identical to the unbucketed loop, which ``bucketed=False``
+    keeps selectable as the parity reference.  Bucketing only pays
+    when the per-call dispatch overhead it removes exceeds the row
+    gather it adds, i.e. for segments whose LHS block is small —
+    segments above ``_BUCKET_ROW_ELEMS`` elements (and singleton
+    buckets, which have nothing to batch) stay on the plain
+    per-segment GEMM, where 2-d BLAS on a contiguous slice is already
+    optimal.
     """
     x = Tensor._lift(x)
     weight = Tensor._lift(weight)
@@ -576,15 +602,46 @@ def segment_matmul(
         )
     offsets = np.concatenate([[0], np.cumsum(counts, dtype=np.int64)])
     occupied = np.nonzero(counts)[0]
+
+    # Size buckets: small segments of equal length run as one stacked
+    # GEMM.  ``batched`` holds (experts, (B, L) row indices) per
+    # multi-member bucket; ``singles`` keeps the rest on the plain
+    # per-segment path.
+    batched = []
+    singles = occupied
+    if bucketed and occupied.size:
+        by_size = {}
+        for e in occupied:
+            by_size.setdefault(int(counts[e]), []).append(int(e))
+        singles = []
+        for length, experts in sorted(by_size.items()):
+            if len(experts) == 1 or length * x.shape[1] > _BUCKET_ROW_ELEMS:
+                singles.extend(experts)
+                continue
+            experts = np.asarray(experts)
+            rows = offsets[experts][:, None] + np.arange(length)
+            batched.append((experts, rows))
+        singles = np.asarray(sorted(singles), dtype=np.int64)
+
     data = np.empty((x.shape[0], weight.shape[2]), dtype=np.float32)
-    for e in occupied:
+    for experts, rows in batched:
+        data[rows] = np.matmul(x.data[rows], weight.data[experts])
+    for e in singles:
         lo, hi = offsets[e], offsets[e + 1]
         np.matmul(x.data[lo:hi], weight.data[e], out=data[lo:hi])
 
     def backward(g):
         grad_x = np.empty_like(x.data)
         grad_w = np.zeros_like(weight.data)
-        for e in occupied:
+        for experts, rows in batched:
+            g_b = g[rows]
+            grad_x[rows] = np.matmul(
+                g_b, np.swapaxes(weight.data[experts], -1, -2)
+            )
+            grad_w[experts] = np.matmul(
+                np.swapaxes(x.data[rows], -1, -2), g_b
+            )
+        for e in singles:
             lo, hi = offsets[e], offsets[e + 1]
             np.matmul(g[lo:hi], weight.data[e].T, out=grad_x[lo:hi])
             np.matmul(x.data[lo:hi].T, g[lo:hi], out=grad_w[e])

@@ -57,7 +57,9 @@ def test_measure_fidelity_aggregates(rng):
 
 
 def test_collect_a2a_tensors_from_layer(rng):
-    layer = MoELayer(16, 24, 4, rng)
+    # Pinned to the batched bank: its A2A payload is the capacity
+    # buffer, so the activation snapshot leads with the expert dim.
+    layer = MoELayer(16, 24, 4, rng, expert_impl="batched")
     x = Tensor(
         rng.standard_normal((12, 16)).astype(np.float32), requires_grad=True
     )
@@ -77,6 +79,28 @@ def test_collect_a2a_tensors_from_layer(rng):
     tensors = collect_a2a_tensors(Wrapper(layer))
     assert len(tensors["activations"]) == 1
     assert tensors["activations"][0].shape[0] == 4  # (E, C, M)
+    assert len(tensors["gradients"]) == 8  # 4 experts x fc1, fc2
+
+
+def test_collect_a2a_tensors_grouped_layer(rng):
+    # The grouped (process-default) path ships the flat routed rows,
+    # so the activation snapshot is (N, M) — N assignments, not E.
+    from repro.nn import Module
+
+    layer = MoELayer(16, 24, 4, rng, expert_impl="grouped")
+    x = Tensor(
+        rng.standard_normal((12, 16)).astype(np.float32), requires_grad=True
+    )
+    (layer(x) ** 2).mean().backward()
+
+    class Wrapper(Module):
+        def __init__(self, inner):
+            super().__init__()
+            self.inner = inner
+
+    tensors = collect_a2a_tensors(Wrapper(layer))
+    assert len(tensors["activations"]) == 1
+    assert tensors["activations"][0].shape[1] == 16  # flat (N, M)
     assert len(tensors["gradients"]) == 8  # 4 experts x fc1, fc2
 
 

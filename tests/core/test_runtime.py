@@ -1,0 +1,146 @@
+"""The threaded task-graph executor and its chunking helper.
+
+``StreamExecutor`` must run every task exactly once, honor the chain
+dependencies (paper Eqs. 4-9) across its two real threads for every
+registered scheduling policy, propagate exceptions without
+deadlocking, and reject incomplete task maps.  ``run_inline`` is the
+sequential reference; both entry points drive identical callables, so
+their observable effects must agree.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    StreamExecutor,
+    available_schedulers,
+    chunk_bounds,
+    make_tasks,
+    run_inline,
+    validate_pipeline,
+)
+from repro.core.tasks import Task, TaskKind
+
+# Brute force enumerates every valid order — too slow beyond toy
+# partition counts, and pointless here.
+POLICIES = [s for s in available_schedulers() if s != "brute-force"]
+
+
+def make_fns(partitions, log, lock):
+    """One callable per task, appending its task to a shared log."""
+
+    def bind(task):
+        def fn():
+            with lock:
+                log.append(task)
+
+        return fn
+
+    return {task: bind(task) for task in make_tasks(partitions)}
+
+
+@pytest.mark.parametrize("scheduler", POLICIES)
+@pytest.mark.parametrize("partitions", [1, 2, 4])
+def test_executor_runs_each_task_once(scheduler, partitions):
+    log, lock = [], threading.Lock()
+    fns = make_fns(partitions, log, lock)
+    timeline = StreamExecutor(scheduler).run(partitions, fns)
+    assert sorted(map(str, log)) == sorted(map(str, fns))
+    assert set(timeline) == set(fns)
+    for start, end in timeline.values():
+        assert 0.0 <= start <= end
+
+
+@pytest.mark.parametrize("scheduler", POLICIES)
+@pytest.mark.parametrize("partitions", [1, 3])
+def test_executor_honors_chain_dependencies(scheduler, partitions):
+    """A task never starts before its chain predecessor finished."""
+    log, lock = [], threading.Lock()
+    fns = make_fns(partitions, log, lock)
+    timeline = StreamExecutor(scheduler).run(partitions, fns)
+    for task in fns:
+        pred = task.predecessor()
+        if pred is not None:
+            assert timeline[pred][1] <= timeline[task][0], (
+                f"{task} started before {pred} ended"
+            )
+
+
+def test_run_inline_is_chunk_major():
+    log, lock = [], threading.Lock()
+    fns = make_fns(3, log, lock)
+    run_inline(3, fns)
+    assert log == make_tasks(3)
+
+
+@pytest.mark.parametrize("runner", ["inline", "executor"])
+def test_incomplete_task_map_rejected(runner):
+    fns = make_fns(2, [], threading.Lock())
+    del fns[Task(TaskKind.E, 1)]
+    run = (
+        run_inline
+        if runner == "inline"
+        else StreamExecutor("optsche").run
+    )
+    with pytest.raises(ValueError, match="E\\^2"):
+        run(2, fns)
+
+
+def test_executor_propagates_exception_without_deadlock():
+    fns = make_fns(3, [], threading.Lock())
+
+    def boom():
+        raise RuntimeError("task failed")
+
+    fns[Task(TaskKind.E, 1)] = boom
+    with pytest.raises(RuntimeError, match="task failed"):
+        StreamExecutor("optsche").run(3, fns)
+
+
+def test_executor_skips_after_abort():
+    """Tasks ordered after a failure are skipped, not executed."""
+    log, lock = [], threading.Lock()
+    fns = make_fns(2, log, lock)
+
+    def boom():
+        raise RuntimeError("early")
+
+    # C1^1 is first on every comp order; everything depends on it
+    # transitively or runs after it on its stream.
+    fns[Task(TaskKind.C1, 0)] = boom
+    with pytest.raises(RuntimeError):
+        StreamExecutor("sequential").run(2, fns)
+    assert len(log) < 13  # strictly fewer than the 13 surviving tasks
+
+
+def test_unknown_scheduler_rejected():
+    with pytest.raises(KeyError):
+        StreamExecutor("no-such-policy")
+
+
+def test_validate_pipeline():
+    assert validate_pipeline("sync") == "sync"
+    assert validate_pipeline("overlap") == "overlap"
+    with pytest.raises(ValueError, match="overlap"):
+        validate_pipeline("async")
+
+
+# -- chunk_bounds ------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "tokens,chunks", [(10, 1), (10, 3), (7, 7), (3, 8), (0, 4)]
+)
+def test_chunk_bounds_partition(tokens, chunks):
+    bounds = chunk_bounds(tokens, chunks)
+    assert bounds[0] == 0 and bounds[-1] == tokens
+    assert len(bounds) == chunks + 1
+    sizes = np.diff(bounds)
+    assert (sizes >= 0).all()
+    # array_split semantics: sizes differ by at most one, big first.
+    assert sizes.max() - sizes.min() <= 1 if tokens >= chunks else True
+    np.testing.assert_array_equal(
+        sizes, [len(part) for part in np.array_split(np.arange(tokens), chunks)]
+    )

@@ -221,7 +221,7 @@ def test_default_expert_impl_context():
     from repro.moe import MoELayer, default_expert_impl
 
     rng = np.random.default_rng(1)
-    assert Experts(2, 8, 16, rng).expert_impl == "batched"
+    assert Experts(2, 8, 16, rng).expert_impl == "grouped"
     with default_expert_impl("loop"):
         assert Experts(2, 8, 16, rng).expert_impl == "loop"
         assert MoELayer(8, 16, 4, rng).experts.expert_impl == "loop"
@@ -230,7 +230,7 @@ def test_default_expert_impl_context():
             Experts(2, 8, 16, rng, expert_impl="batched").expert_impl
             == "batched"
         )
-    assert Experts(2, 8, 16, rng).expert_impl == "batched"
+    assert Experts(2, 8, 16, rng).expert_impl == "grouped"
     with pytest.raises(ValueError):
         with default_expert_impl("vectorized"):
             pass

@@ -270,4 +270,4 @@ def test_default_expert_impl_accepts_grouped():
     with default_expert_impl("grouped"):
         assert Experts(2, 8, 16, rng).expert_impl == "grouped"
         assert MoELayer(8, 16, 2, rng).experts.expert_impl == "grouped"
-    assert Experts(2, 8, 16, rng).expert_impl == "batched"
+    assert Experts(2, 8, 16, rng).expert_impl == "grouped"

@@ -60,10 +60,11 @@ def test_traffic_accounting(rng):
     dispatch = group.last_dispatch_traffic
     combine = group.last_combine_traffic
     assert dispatch.total_bytes > 0
-    # Every (src, dst) pair carries one capacity-padded expert block.
+    # Every (src, dst) pair ships the flat routed rows destined for
+    # dst's experts — no capacity padding in the payload.
     assert dispatch.matrix.shape == (4, 4)
     assert dispatch.off_diagonal_bytes > 0
-    # Combine returns exactly the dispatched volume (same block sizes).
+    # Combine returns exactly the dispatched volume (row for row).
     assert combine.total_bytes == pytest.approx(dispatch.total_bytes)
 
 

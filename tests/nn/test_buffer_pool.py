@@ -1,0 +1,75 @@
+"""The staging-buffer pool used by the pipelined A2A path."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.nn import BufferPool
+
+
+def test_acquire_shape_and_reuse():
+    pool = BufferPool()
+    a = pool.acquire((4, 8))
+    assert a.shape == (4, 8) and a.dtype == np.float32
+    pool.release(a)
+    b = pool.acquire((4, 8))
+    assert b is a  # same buffer came back
+    assert pool.hits == 1 and pool.misses == 1
+
+
+def test_take_copy_copies():
+    pool = BufferPool()
+    src = np.arange(12, dtype=np.float32).reshape(3, 4)
+    buf = pool.take_copy(src)
+    assert buf is not src
+    np.testing.assert_array_equal(buf, src)
+    src[:] = -1.0  # the staged copy is independent of the source
+    np.testing.assert_array_equal(
+        buf, np.arange(12, dtype=np.float32).reshape(3, 4)
+    )
+
+
+def test_distinct_keys_do_not_mix():
+    pool = BufferPool()
+    pool.release(pool.acquire((2, 2), np.float32))
+    got = pool.acquire((2, 2), np.float64)
+    assert got.dtype == np.float64
+    assert pool.idle_buffers() == 1  # the float32 one is still idle
+
+
+def test_max_per_key_bounds_retention():
+    pool = BufferPool(max_per_key=2)
+    bufs = [pool.acquire((3,)) for _ in range(5)]
+    for b in bufs:
+        pool.release(b)
+    assert pool.idle_buffers() == 2
+
+
+def test_max_per_key_validation():
+    with pytest.raises(ValueError):
+        BufferPool(max_per_key=0)
+
+
+def test_thread_safety_under_contention():
+    """Concurrent acquire/release never loses or duplicates buffers."""
+    pool = BufferPool(max_per_key=64)
+    errors = []
+
+    def worker():
+        try:
+            for _ in range(200):
+                buf = pool.acquire((8, 8))
+                buf.fill(1.0)
+                pool.release(buf)
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert pool.idle_buffers() <= 64
+    assert pool.hits + pool.misses == 4 * 200
