@@ -8,6 +8,7 @@ Usage::
     python -m repro a2a --algo pipe --size 256e6
     python -m repro a2a --algo pipe --faults plan.json
     python -m repro step --model ct_moe --layers 12 --policy ScheMoE
+    python -m repro plan --layers 12 --budget 40 --cache /tmp/plan.json
     python -m repro faults --slowdown 2.0 --scheduler optsche
     python -m repro faults --plan plan.json --write-demo plan.json
     python -m repro pipeline --num-chunks 4 --workers 4
@@ -42,7 +43,7 @@ def _runner(args) -> SystemRunner:
 def cmd_list(_args) -> int:
     """List experiments, policies, models and cluster presets."""
     print("experiments: table1 table7 table8 table10 fig9 a2a faults "
-          "step pipeline trace")
+          "step plan pipeline trace")
     print("policies:   ", ", ".join(sorted(ALL_POLICIES)))
     print("models:     ", ", ".join(sorted(PAPER_MODELS)))
     from .cluster.presets import PRESETS
@@ -228,6 +229,62 @@ def cmd_step(args) -> int:
     return 0
 
 
+def cmd_plan(args) -> int:
+    """Auto-tune the system configuration for one workload.
+
+    Runs the three-stage planner: a budgeted probe set calibrates
+    alpha-beta and roofline cost models, the whole joint knob space is
+    scored analytically against them, and only the top-K candidates
+    are validated with real simulations (landing in ``--cache`` so
+    reruns and sweeps share them).  ``--regret`` additionally runs the
+    exhaustive sweep over the same grid and reports how far the
+    recommendation is from its optimum.
+    """
+    from .systems import PlanSpace, plan
+
+    if args.model == "ct_moe":
+        cfg = ct_moe(args.layers)
+    elif args.model == "bert_large_moe":
+        cfg = bert_large_moe()
+    else:
+        cfg = PAPER_MODELS[args.model]()
+
+    space_kwargs = {}
+    for attr, flag, cast in (
+        ("schedulers", args.schedulers, str),
+        ("a2a_algorithms", args.a2a, str),
+        ("compressors", args.codecs, str),
+        ("partition_degrees", args.partitions, int),
+        ("capacity_factors", args.capacity_factors, float),
+    ):
+        if flag:
+            space_kwargs[attr] = tuple(
+                cast(v) for v in flag.split(",") if v
+            )
+    space = PlanSpace(**space_kwargs)
+
+    report = plan(
+        cfg,
+        get_preset(args.cluster),
+        space=space,
+        seed=args.seed,
+        budget=args.budget,
+        top_k=args.top_k,
+        cache_path=args.cache or None,
+        processes=args.processes,
+        regret=args.regret,
+    )
+    for line in report.summary_lines():
+        print(line)
+    if args.cache:
+        print(f"cache hits {report.cache_hits}/{report.simulated}")
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"report written to {args.out}")
+    return 0
+
+
 def cmd_pipeline(args) -> int:
     """Sync-vs-overlap chunked expert-parallel forward on real numerics.
 
@@ -357,6 +414,55 @@ def build_parser() -> argparse.ArgumentParser:
     p_step.add_argument("--policy", default="ScheMoE",
                         choices=sorted(ALL_POLICIES))
 
+    p_plan = sub.add_parser(
+        "plan", help="auto-tune the system config for one workload"
+    )
+    p_plan.add_argument("--model", default="ct_moe",
+                        choices=sorted(PAPER_MODELS) + ["ct_moe"])
+    p_plan.add_argument("--layers", type=int, default=12)
+    p_plan.add_argument("--seed", type=int, default=0)
+    p_plan.add_argument(
+        "--budget", type=int, default=None,
+        help="cap on calibration probe measurements (default: no cap)",
+    )
+    p_plan.add_argument(
+        "--top-k", type=int, default=8,
+        help="analytic candidates validated by real simulation",
+    )
+    p_plan.add_argument(
+        "--cache", default="",
+        help="sweep-cache path shared with run_sweep ('' disables)",
+    )
+    p_plan.add_argument("--processes", type=int, default=None)
+    p_plan.add_argument(
+        "--regret", action="store_true",
+        help="also run the exhaustive sweep and report the regret",
+    )
+    p_plan.add_argument(
+        "--out", metavar="PATH",
+        help="write the full report JSON to PATH",
+    )
+    p_plan.add_argument(
+        "--schedulers", default="",
+        help="comma list overriding the scheduler grid",
+    )
+    p_plan.add_argument(
+        "--a2a", default="",
+        help="comma list overriding the A2A-algorithm grid",
+    )
+    p_plan.add_argument(
+        "--codecs", default="",
+        help="comma list overriding the compressor grid",
+    )
+    p_plan.add_argument(
+        "--partitions", default="",
+        help="comma list overriding the partition-degree grid",
+    )
+    p_plan.add_argument(
+        "--capacity-factors", default="",
+        help="comma list overriding the capacity-factor grid",
+    )
+
     p_faults = sub.add_parser(
         "faults", help="one layer pass under a fault plan"
     )
@@ -422,6 +528,7 @@ COMMANDS = {
     "a2a": cmd_a2a,
     "faults": cmd_faults,
     "step": cmd_step,
+    "plan": cmd_plan,
     "pipeline": cmd_pipeline,
     "trace": cmd_trace,
 }

@@ -19,6 +19,9 @@ from .costmodel import (
     a2a_input_bytes,
     bytes_of,
     expert_capacity,
+    fit_alpha_beta,
+    fit_gemm_roofline,
+    fit_link_model,
 )
 from .engine import AllOf, AnyOf, Engine, Event, Process, Resource, Timeout
 from .presets import (
@@ -55,6 +58,9 @@ __all__ = [
     "custom_ratio_testbed",
     "ethernet_cluster",
     "expert_capacity",
+    "fit_alpha_beta",
+    "fit_gemm_roofline",
+    "fit_link_model",
     "get_preset",
     "make_streams",
     "nvlink_dgx",

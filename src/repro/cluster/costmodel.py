@@ -18,6 +18,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
 
 
 @dataclass(frozen=True)
@@ -178,3 +181,87 @@ def expert_capacity(
     if num_experts <= 0:
         raise ValueError(f"num_experts must be positive, got {num_experts}")
     return int(math.ceil(capacity_factor * top_k * batch * seq_len / num_experts))
+
+
+# -- fitting measured costs back into model form -----------------------------
+#
+# The auto-tuning planner (repro.systems.planner) runs a handful of
+# probe measurements and recovers the cost-model parameters from them
+# by least squares.  Both model families above are affine in their
+# size argument, which makes the fits exact on synthetic data:
+#
+# * a LinkModel transfer is  t(n) = latency + n / bandwidth  — affine
+#   in bytes with alpha = latency, beta = 1 / bandwidth;
+# * a GpuModel GEMM is  t(f) = launch + f / (peak * eff(f))  with the
+#   saturating  eff(f) = peak_eff * f / (f + K),  which collapses to
+#   t(f) = [launch + K / (peak * peak_eff)] + f / (peak * peak_eff)
+#   — affine in flops.  The roofline's saturated rate is exactly
+#   1 / beta; launch and K are not separately identifiable from step
+#   times alone, so the fit pins K and solves for the launch term.
+
+
+def fit_alpha_beta(
+    sizes: Sequence[float], times: Sequence[float]
+) -> Tuple[float, float]:
+    """Least-squares ``(alpha, beta)`` of ``t(size) = alpha + beta*size``."""
+    if len(sizes) != len(times) or len(sizes) < 2:
+        raise ValueError("need at least two (size, time) measurements")
+    a = np.vstack([np.ones(len(sizes)), np.asarray(sizes, float)]).T
+    coef, *_ = np.linalg.lstsq(a, np.asarray(times, float), rcond=None)
+    return float(coef[0]), float(coef[1])
+
+
+def fit_link_model(
+    sizes: Sequence[float], times: Sequence[float], name: str = "fitted"
+) -> LinkModel:
+    """Recover a :class:`LinkModel` from (bytes, seconds) measurements.
+
+    ``alpha`` maps to the per-message latency (clipped at zero: noisy
+    fits may place the intercept marginally below it) and ``beta`` to
+    the inverse bandwidth.  A non-positive slope means the points do
+    not describe a link at all and is rejected.
+    """
+    alpha, beta = fit_alpha_beta(sizes, times)
+    if beta <= 0.0:
+        raise ValueError(
+            f"non-physical link fit (beta={beta:.3e} s/B): time must "
+            "grow with message size"
+        )
+    return LinkModel(
+        name=name, latency_s=max(alpha, 0.0), bandwidth_bps=1.0 / beta
+    )
+
+
+def fit_gemm_roofline(
+    flops: Sequence[float],
+    times: Sequence[float],
+    name: str = "fitted-gpu",
+    half_saturation_flops: float = 2.0e9,
+    memory_bandwidth_bps: float = 1.0e12,
+    memory_bytes: float = float("inf"),
+) -> GpuModel:
+    """Recover a :class:`GpuModel` from (flops, seconds) measurements.
+
+    The fitted model reproduces the affine fit exactly through
+    :meth:`GpuModel.gemm_time` (see the identity above): the saturated
+    rate is ``1/beta`` (expressed as ``peak_flops`` at efficiency 1.0)
+    and the launch cost absorbs the remainder of the intercept after
+    the pinned ``half_saturation_flops``.  The memory-side parameters
+    are pass-throughs for callers that know them; GEMM probes carry no
+    information about them.
+    """
+    alpha, beta = fit_alpha_beta(flops, times)
+    if beta <= 0.0:
+        raise ValueError(
+            f"non-physical GEMM fit (beta={beta:.3e} s/flop): time "
+            "must grow with flop count"
+        )
+    return GpuModel(
+        name=name,
+        peak_flops=1.0 / beta,
+        memory_bandwidth_bps=memory_bandwidth_bps,
+        memory_bytes=memory_bytes,
+        peak_efficiency=1.0,
+        half_saturation_flops=half_saturation_flops,
+        kernel_launch_s=max(alpha - half_saturation_flops * beta, 0.0),
+    )

@@ -68,6 +68,9 @@ class Profiler:
         self.compressor = compressor
         self._a2a_cache: Dict[Tuple[str, int], float] = {}
         self._oom_cache: Dict[Tuple[str, int], bool] = {}
+        #: Real (cache-missing) A2A measurements this profiler ran —
+        #: the planner's probe accounting reads it.
+        self.a2a_measurements = 0
 
     # -- individual task measurements -----------------------------------
     def measure_a2a_seconds(self, wire_bytes: float) -> float:
@@ -81,6 +84,7 @@ class Profiler:
             result = measure_a2a(self.a2a, self.spec, wire_bytes)
             self._a2a_cache[key] = result.seconds
             self._oom_cache[key] = result.oom
+            self.a2a_measurements += 1
         return self._a2a_cache[key]
 
     def compress_seconds(self, raw_bytes: float) -> float:
@@ -125,6 +129,45 @@ class Profiler:
                 tokens_chunk, cfg.model_dim, cfg.hidden_dim
             ),
         )
+
+    # -- probe hooks (the planner's calibration stage) ---------------------
+    def probe_a2a(
+        self, wire_sizes: List[float]
+    ) -> List[Tuple[float, float]]:
+        """Measure the A2A at each wire size -> ``(bytes, seconds)``.
+
+        OOM sizes report ``inf`` seconds like
+        :meth:`measure_a2a_seconds`; callers decide whether to fit
+        around them or treat them as a feasibility boundary.
+        """
+        return [
+            (float(s), self.measure_a2a_seconds(float(s)))
+            for s in wire_sizes
+        ]
+
+    def probe_codec(
+        self, raw_sizes: List[float]
+    ) -> Tuple[List[Tuple[float, float]], List[Tuple[float, float]]]:
+        """Codec cost curves -> (compress, decompress) point lists."""
+        compress = [
+            (float(s), self.compress_seconds(float(s))) for s in raw_sizes
+        ]
+        decompress = [
+            (float(s), self.decompress_seconds(float(s))) for s in raw_sizes
+        ]
+        return compress, decompress
+
+    def probe_expert(
+        self, token_counts: List[int], model_dim: int, hidden_dim: int
+    ) -> List[Tuple[float, float]]:
+        """Expert GEMM curve -> ``(flops, seconds)`` per token count."""
+        points = []
+        for tokens in token_counts:
+            flops = ffn_forward_flops(int(tokens), model_dim, hidden_dim)
+            points.append(
+                (flops, self.expert_seconds(int(tokens), model_dim, hidden_dim))
+            )
+        return points
 
     # -- performance-model fitting ----------------------------------------
     def fit_a2a_model(

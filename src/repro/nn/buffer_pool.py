@@ -71,7 +71,31 @@ class BufferPool:
         return buf
 
     def release(self, array: np.ndarray) -> None:
-        """Return a buffer for reuse.  Only pass arrays you own."""
+        """Return a buffer for reuse.  Only pass arrays you own.
+
+        The pool only ever hands out freshly allocated, writable,
+        C-contiguous arrays that own their data — and it only takes
+        such arrays back.  Accepting anything else would let a later
+        :meth:`acquire` hand out a buffer that aliases live caller
+        data (a view) or that ``np.copyto``-style staging writes
+        cannot fill (read-only, or strided so the flat copy is wrong).
+        """
+        if not isinstance(array, np.ndarray):
+            raise TypeError(
+                f"release() takes a numpy array, got {type(array).__name__}"
+            )
+        if array.base is not None:
+            raise ValueError(
+                "refusing to pool a view: a later acquire would hand "
+                "out a buffer aliasing the view's base array"
+            )
+        if not array.flags.writeable:
+            raise ValueError("refusing to pool a read-only array")
+        if not array.flags.c_contiguous:
+            raise ValueError(
+                "refusing to pool a non-C-contiguous array: staged "
+                "copies assume the pool's own contiguous layout"
+            )
         key = self._key(array.shape, array.dtype)
         with self._lock:
             free = self._free.setdefault(key, [])

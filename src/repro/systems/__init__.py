@@ -8,6 +8,15 @@ simulated hardware the way the paper's comparisons ran on identical
 physical hardware.
 """
 
+from .planner import (
+    Calibration,
+    FittedProfiler,
+    PlanCandidate,
+    PlanReport,
+    PlanSpace,
+    calibrate,
+    plan,
+)
 from .policies import (
     ALL_POLICIES,
     ablation_suite,
@@ -25,14 +34,21 @@ from .sweep import SweepCache, SweepTask, run_sweep, task_key
 
 __all__ = [
     "ALL_POLICIES",
+    "Calibration",
+    "FittedProfiler",
+    "PlanCandidate",
+    "PlanReport",
+    "PlanSpace",
     "SpeedupStats",
     "SweepCache",
     "SweepTask",
     "SystemRunner",
     "ablation_suite",
+    "calibrate",
     "comparison_suite",
     "fastermoe",
     "naive",
+    "plan",
     "run_sweep",
     "schemoe",
     "schemoe_no_compression",

@@ -27,6 +27,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -66,14 +67,38 @@ class SweepTask:
 
 
 def _canonical(value):
-    """A stable JSON-encodable view of dataclasses / primitives."""
+    """A stable JSON-encodable view of dataclasses / primitives.
+
+    Non-finite floats become string sentinels: :func:`task_key` hashes
+    with ``allow_nan=False`` (strict JSON), so an ``inf`` reaching a
+    cfg/spec/policy field (an unlimited-bandwidth link, an OOM-priced
+    field) must not crash key computation.  The sentinels are plain
+    strings, so they cannot collide with the float they stand for.
+    Dict keys are stringified and sorted *by that string*, so
+    heterogeneous key types (``{1: .., "a": ..}``) canonicalize
+    deterministically instead of raising ``TypeError``; two distinct
+    keys that stringify identically are rejected loudly.
+    """
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         fields = dataclasses.asdict(value)
         return {k: _canonical(v) for k, v in sorted(fields.items())}
     if isinstance(value, dict):
-        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+        out = {}
+        for key, v in sorted(value.items(), key=lambda kv: str(kv[0])):
+            text = str(key)
+            if text in out:
+                raise ValueError(
+                    f"ambiguous cache-key dict: two keys stringify to "
+                    f"{text!r}"
+                )
+            out[text] = _canonical(v)
+        return out
     if isinstance(value, (list, tuple)):
         return [_canonical(v) for v in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "__nan__"
+        return "__inf__" if value > 0 else "__-inf__"
     return value
 
 
@@ -363,13 +388,21 @@ def _run_chunk(args: Tuple[ClusterSpec, List[Tuple[int, SweepTask]]]):
 
 
 def default_processes() -> int:
-    """Worker count: ``REPRO_SWEEP_PROCESSES`` or the CPU count."""
+    """Worker count: ``REPRO_SWEEP_PROCESSES`` or the CPU count.
+
+    An unparseable override raises instead of silently falling back to
+    the CPU count — a typo'd knob must not quietly serialize (or
+    quietly parallelize) a 675-configuration sweep.
+    """
     env = os.environ.get(PROCESSES_ENV)
     if env is not None:
         try:
             return max(int(env), 1)
         except ValueError:
-            pass
+            raise ValueError(
+                f"{PROCESSES_ENV} must be an integer worker count, "
+                f"got {env!r}"
+            ) from None
     return os.cpu_count() or 1
 
 

@@ -131,3 +131,26 @@ def test_a2a_with_fault_plan(tmp_path, capsys):
     ) == 0
     out = capsys.readouterr().out
     assert "transient failures" in out and "retries" in out
+
+
+def test_plan_smoke(tmp_path, capsys):
+    cache = tmp_path / "plan_cache.json"
+    args = [
+        "plan", "--layers", "12", "--budget", "20", "--top-k", "2",
+        "--schedulers", "sequential,optsche", "--a2a", "pipe",
+        "--codecs", "none", "--partitions", "1,2",
+        "--capacity-factors", "1.0", "--processes", "1",
+        "--cache", str(cache), "--regret",
+        "--out", str(tmp_path / "report.json"),
+    ]
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "recommendation:" in out
+    assert "regret vs exhaustive sweep" in out
+    assert "cache hits 0/2" in out
+    report = json.loads((tmp_path / "report.json").read_text())
+    assert report["recommendation"]["layer"]["expert_impl"] == "grouped"
+    assert report["regret"]["regret_pct"] <= 5.0
+    # A rerun against the same cache replays every validation.
+    assert main(args) == 0
+    assert "cache hits 2/2" in capsys.readouterr().out

@@ -73,3 +73,49 @@ def test_thread_safety_under_contention():
     assert not errors
     assert pool.idle_buffers() <= 64
     assert pool.hits + pool.misses == 4 * 200
+
+
+# -- release() validation -----------------------------------------------------
+
+
+def test_release_rejects_views():
+    """Pooling a view would alias the base array into a later acquire."""
+    pool = BufferPool()
+    base = pool.acquire((4, 8))
+    with pytest.raises(ValueError, match="view"):
+        pool.release(base[:2])
+    with pytest.raises(ValueError, match="view"):
+        pool.release(base.reshape(8, 4))
+    assert pool.idle_buffers() == 0
+
+
+def test_release_rejects_read_only():
+    pool = BufferPool()
+    buf = pool.acquire((3, 3))
+    buf.flags.writeable = False
+    with pytest.raises(ValueError, match="read-only"):
+        pool.release(buf)
+    assert pool.idle_buffers() == 0
+
+
+def test_release_rejects_non_contiguous():
+    pool = BufferPool()
+    fortran = np.asfortranarray(np.ones((4, 5), dtype=np.float32))
+    with pytest.raises(ValueError, match="contiguous"):
+        pool.release(fortran)
+    assert pool.idle_buffers() == 0
+
+
+def test_release_rejects_non_arrays():
+    pool = BufferPool()
+    with pytest.raises(TypeError, match="numpy array"):
+        pool.release([1.0, 2.0])
+    assert pool.idle_buffers() == 0
+
+
+def test_release_accepts_owned_contiguous_arrays():
+    """The arrays the pool itself hands out always pass validation."""
+    pool = BufferPool()
+    buf = pool.take_copy(np.ones((2, 6), dtype=np.float32))
+    pool.release(buf)  # no raise
+    assert pool.idle_buffers() == 1

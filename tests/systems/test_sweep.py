@@ -372,3 +372,73 @@ def test_quarantine_sidecar_accumulates_across_loads(tmp_path):
     assert cache.quarantined_lines == 1
     bad = cache.bad_path.read_text().splitlines()
     assert bad == ["garbage-one", "garbage-two"]
+
+
+# -- default_processes env parsing -------------------------------------------
+
+
+def test_bad_processes_env_raises(monkeypatch):
+    """A typo'd REPRO_SWEEP_PROCESSES must fail loudly, not fall back."""
+    from repro.systems.sweep import PROCESSES_ENV, default_processes
+
+    monkeypatch.setenv(PROCESSES_ENV, "four")
+    with pytest.raises(ValueError, match="REPRO_SWEEP_PROCESSES") as err:
+        default_processes()
+    assert "'four'" in str(err.value)
+
+
+def test_processes_env_parses_and_clamps(monkeypatch):
+    from repro.systems.sweep import PROCESSES_ENV, default_processes
+
+    monkeypatch.setenv(PROCESSES_ENV, "3")
+    assert default_processes() == 3
+    monkeypatch.setenv(PROCESSES_ENV, "0")
+    assert default_processes() == 1  # 0/negatives clamp to serial
+    monkeypatch.delenv(PROCESSES_ENV)
+    assert default_processes() >= 1
+
+
+# -- _canonical edge cases ----------------------------------------------------
+
+
+def test_canonical_nonfinite_floats_become_sentinels():
+    from repro.systems.sweep import _canonical
+
+    assert _canonical(float("inf")) == "__inf__"
+    assert _canonical(float("-inf")) == "__-inf__"
+    assert _canonical(float("nan")) == "__nan__"
+    assert _canonical(1.5) == 1.5
+    assert _canonical([float("inf"), {"a": float("nan")}]) == [
+        "__inf__",
+        {"a": "__nan__"},
+    ]
+
+
+def test_task_key_with_nonfinite_policy_field():
+    """An inf-valued policy field must hash (and hash differently)."""
+    import dataclasses
+
+    spec = paper_testbed()
+    cfg = ct_moe(12)
+    inf_task = SweepTask(
+        cfg,
+        dataclasses.replace(tutel(), comm_inefficiency=float("inf")),
+    )
+    finite = SweepTask(cfg, tutel())
+    key = task_key(inf_task, spec)  # must not raise (allow_nan=False)
+    assert key != task_key(finite, spec)
+
+
+def test_canonical_mixed_type_dict_keys_are_deterministic():
+    from repro.systems.sweep import _canonical
+
+    out = _canonical({1: "a", "0": "b", 2.5: "c"})
+    assert out == {"0": "b", "1": "a", "2.5": "c"}
+    assert list(out) == ["0", "1", "2.5"]  # sorted by stringified key
+
+
+def test_canonical_rejects_colliding_stringified_keys():
+    from repro.systems.sweep import _canonical
+
+    with pytest.raises(ValueError, match="stringify"):
+        _canonical({1: "a", "1": "b"})
