@@ -14,7 +14,12 @@ the reference formulations against the optimized defaults:
   by expert, segment-matmul, combine from the flat rows — no
   (E, C, M) buffer) vs the batched capacity buffer, swept across
   capacity factors 1..8 — grouped step time must stay ~flat while
-  batched scales with C.
+  batched scales with C;
+* fused routing: the single-sort ``route_fused`` kernel vs the
+  legacy chain it replaced (the ``O(T * k * E)`` one-hot-cumsum slot
+  assignment, then ``np.nonzero`` + stable argsort + ``bincount`` to
+  recover the kept coordinates, grouped permutation and segment
+  counts), bit-identical plans asserted before timing.
 
 Both the top-k and the expert-choice gate are timed — the latter
 emits the flat expert-major sparse form, the case that used to fall
@@ -60,7 +65,9 @@ from repro.moe import (
     dispatch_grouped,
     dispatch_sparse,
 )
+from repro.moe.gating import assign_capacity_slots
 from repro.moe.gating_ec import ExpertChoiceGate
+from repro.moe.routing import route_fused
 from repro.nn import Tensor
 
 from _util import emit, once
@@ -102,6 +109,19 @@ FULL_GROUPED = {
     "hidden_dim": 512,
     "capacity_factors": [1.0, 2.0, 4.0, 8.0],
     "headline_cf": 4.0,
+}
+#: Fused-routing acceptance configuration: one stable sort over the
+#: (T * k,) flat expert ids vs the legacy chain, whose slot stage
+#: alone materializes a (T * k, E) one-hot cumsum.  E=32 is the
+#: headline (same shape as the dispatch rows); E=256 shows the gap
+#: widening with expert count — the fused kernel never sees E beyond
+#: a bincount, the one-hot reference scales linearly in it.
+FULL_FUSED = {
+    "tokens": 4096,
+    "top_k": 2,
+    "capacity_factor": 2.0,
+    "experts_sweep": [32, 256],
+    "headline_experts": 32,
 }
 #: Sync-vs-overlap acceptance configuration.  One core cannot overlap
 #: two CPU-bound threads, so compute/compute overlap is off the table
@@ -147,6 +167,13 @@ TINY_GROUPED = {
     "hidden_dim": 32,
     "capacity_factors": [1.0, 4.0],
     "headline_cf": 4.0,
+}
+TINY_FUSED = {
+    "tokens": 64,
+    "top_k": 2,
+    "capacity_factor": 2.0,
+    "experts_sweep": [4, 16],
+    "headline_experts": 4,
 }
 TINY_OVERLAP = {
     "tokens": 64,
@@ -300,6 +327,101 @@ def bench_routing_ec(cfg: dict, repeats: int) -> dict:
     }
 
 
+def bench_fused_routing(cfg: dict, repeats: int) -> dict:
+    """Single-sort ``route_fused`` vs the legacy routing chain.
+
+    The legacy formulation is exactly what the consumers used to run
+    between the gate's top-k and the first expert GEMM: the one-hot
+    cumsum slot assignment (``assign_capacity_slots``), the
+    ``np.nonzero`` kept scan, the gather of kept expert ids, a stable
+    argsort into expert-major order, the segment ``bincount``, and
+    the first-choice ``bincount`` the aux loss needs.  The fused
+    kernel produces the identical plan from one stable sort of the
+    flat ``(T * k,)`` expert ids.  Plans are asserted bit-identical
+    field by field before timing.
+    """
+    tokens, top_k = cfg["tokens"], cfg["top_k"]
+    rows = []
+    for experts in cfg["experts_sweep"]:
+        rng = np.random.default_rng(0)
+        # Distinct experts per token, like a real top-k gate emits.
+        top_idx = np.argsort(
+            rng.random((tokens, experts)), axis=1
+        )[:, :top_k]
+        capacity = max(
+            int(cfg["capacity_factor"] * tokens * top_k / experts), 1
+        )
+
+        def legacy_chain():
+            slots = assign_capacity_slots(top_idx, experts, capacity)
+            tok, choice = np.nonzero(slots >= 0)
+            e_ids = top_idx[tok, choice]
+            order = np.argsort(e_ids, kind="stable")
+            return dict(
+                slot_indices=slots,
+                kept_token_ids=tok,
+                kept_choice_ids=choice,
+                kept_expert_ids=e_ids,
+                kept_slot_ids=slots[tok, choice],
+                grouped_token_ids=tok[order],
+                grouped_expert_ids=e_ids[order],
+                segment_counts=np.bincount(
+                    e_ids, minlength=experts
+                ).astype(np.int64),
+                first_choice_counts=np.bincount(
+                    top_idx[:, 0], minlength=experts
+                ),
+            )
+
+        # Same plan before timing — a speedup over a different
+        # permutation would be a wrong answer, not a win.
+        plan = route_fused(top_idx, experts, capacity)
+        ref = legacy_chain()
+        np.testing.assert_array_equal(
+            plan.slot_indices, ref["slot_indices"]
+        )
+        np.testing.assert_array_equal(
+            plan.kept_token_ids, ref["kept_token_ids"]
+        )
+        np.testing.assert_array_equal(
+            plan.kept_slot_ids, ref["kept_slot_ids"]
+        )
+        np.testing.assert_array_equal(
+            plan.grouped_token_ids, ref["grouped_token_ids"]
+        )
+        np.testing.assert_array_equal(
+            plan.grouped_expert_ids, ref["grouped_expert_ids"]
+        )
+        np.testing.assert_array_equal(
+            plan.segment_counts, ref["segment_counts"]
+        )
+        np.testing.assert_array_equal(
+            plan.choice_counts[:, 0], ref["first_choice_counts"]
+        )
+
+        legacy_s = _best_of(legacy_chain, repeats)
+        fused_s = _best_of(
+            lambda: route_fused(top_idx, experts, capacity), repeats
+        )
+        rows.append({
+            "experts": experts,
+            "capacity": capacity,
+            "kept": int(plan.num_kept),
+            "legacy_s": legacy_s,
+            "fused_s": fused_s,
+            "speedup": legacy_s / fused_s,
+        })
+
+    headline = next(
+        r for r in rows if r["experts"] == cfg["headline_experts"]
+    )
+    return {
+        "config": {k: v for k, v in cfg.items() if k != "experts_sweep"},
+        "by_experts": rows,
+        "headline": headline,
+    }
+
+
 def bench_expert_bank(cfg: dict, repeats: int) -> dict:
     """Batched stacked bank vs per-expert loop (fwd + bwd).
 
@@ -335,10 +457,16 @@ def bench_expert_bank(cfg: dict, repeats: int) -> dict:
         )
 
     loop, batched = make_bank("loop"), make_bank("batched")
-    np.testing.assert_array_equal(
-        batched(routed, expert_load=out.expert_load).data,
-        loop(routed).data,
+    # Bitwise at occupied slots; the batched path zero-fills the
+    # padding the loop reference runs the FFN on (no combine reads
+    # those slots — every combine weight there is zero).
+    occ = (
+        np.arange(out.capacity)[None, :] < out.expert_load[:, None]
     )
+    bat = batched(routed, expert_load=out.expert_load).data
+    ref = loop(routed).data
+    np.testing.assert_array_equal(bat[occ], ref[occ])
+    assert not bat[~occ].any()
     seed = np.ones(routed.data.shape, dtype=np.float32)
 
     def run(bank, **kwargs):
@@ -404,18 +532,20 @@ def bench_grouped(cfg: dict, repeats: int) -> dict:
         gate_weights = out.gate_weights.detach()
         seed = np.ones((tokens, model_dim), dtype=np.float32)
 
+        # Both steps reuse the gate's cached RoutingPlan, exactly as
+        # MoELayer's hot path does — no per-step re-sort or kept scan.
         def batched_step():
             x.zero_grad()
             for p in batched_bank.parameters():
                 p.zero_grad()
             routed = dispatch_sparse(
                 x, out.expert_indices, out.slot_indices, experts,
-                out.capacity,
+                out.capacity, plan=out.plan,
             )
             expert_out = batched_bank(routed, expert_load=out.expert_load)
             combine_sparse(
                 expert_out, out.expert_indices, out.slot_indices,
-                gate_weights, tokens,
+                gate_weights, tokens, plan=out.plan,
             ).backward(seed)
 
         def grouped_step():
@@ -423,7 +553,8 @@ def bench_grouped(cfg: dict, repeats: int) -> dict:
             for p in grouped_bank.parameters():
                 p.zero_grad()
             flat, routing = dispatch_grouped(
-                x, out.expert_indices, out.slot_indices, experts
+                x, out.expert_indices, out.slot_indices, experts,
+                plan=out.plan,
             )
             expert_rows = grouped_bank.run_grouped(
                 flat, routing.segment_counts
@@ -598,9 +729,11 @@ def run_hotpath(tiny: bool = False, repeats: int = 3) -> dict:
     step_cfg = TINY_STEP if tiny else FULL_STEP
     bank_cfg = TINY_BANK if tiny else FULL_BANK
     grouped_cfg = TINY_GROUPED if tiny else FULL_GROUPED
+    fused_cfg = TINY_FUSED if tiny else FULL_FUSED
     overlap_cfg = TINY_OVERLAP if tiny else FULL_OVERLAP
     routing = bench_routing(routing_cfg, repeats)
     routing_ec = bench_routing_ec(routing_cfg, repeats)
+    fused = bench_fused_routing(fused_cfg, repeats)
     bank = bench_expert_bank(bank_cfg, repeats)
     grouped = bench_grouped(grouped_cfg, repeats)
     overlap = bench_overlap(overlap_cfg, repeats)
@@ -610,12 +743,14 @@ def run_hotpath(tiny: bool = False, repeats: int = 3) -> dict:
         "mode": "tiny" if tiny else "full",
         "routing": routing,
         "routing_expert_choice": routing_ec,
+        "routing_fused": fused,
         "expert_bank": bank,
         "grouped": grouped,
         "overlap": overlap,
         "train_step": step,
         "acceptance": {
             "overlap_speedup": overlap["headline"]["speedup"],
+            "routing_fused_speedup": fused["headline"]["speedup"],
             "dispatch_combine_speedup": routing[
                 "dispatch_combine_fwd_bwd"
             ]["speedup"],
@@ -698,6 +833,25 @@ def render(report: dict) -> str:
         f"grouped step-time spread across cf sweep: "
         f"{grouped['grouped_cf_flatness']:.2f}x (1.00x = perfectly flat)"
     )
+    fused = report["routing_fused"]
+    fc = fused["config"]
+    lines += [
+        "",
+        (
+            f"fused routing kernel vs legacy chain "
+            f"(T={fc['tokens']} k={fc['top_k']} cf={fc['capacity_factor']:g}):"
+        ),
+        f"{'E':>6} {'C':>6} {'kept':>7} {'legacy':>10} {'fused':>10} "
+        f"{'speedup':>8}",
+    ]
+    for row in fused["by_experts"]:
+        lines.append(
+            f"{row['experts']:>6d} {row['capacity']:>6d} "
+            f"{row['kept']:>7d} "
+            f"{row['legacy_s'] * 1e3:>8.2f}ms "
+            f"{row['fused_s'] * 1e3:>8.2f}ms "
+            f"{row['speedup']:>7.1f}x"
+        )
     overlap = report["overlap"]
     oc = overlap["config"]
     lines += [
@@ -737,15 +891,21 @@ def test_hotpath_sparse_speedup(benchmark):
     # for the top-k *and* the expert-choice gate; the batched expert
     # bank beats the per-expert loop >= 3x at E=32, M=1024; the
     # capacity-free grouped path beats the batched capacity buffer
-    # >= 1.5x on the low-occupancy cf=4.0 config and stays ~flat
-    # across cf in {1, 2, 4, 8}; the chunked pipeline hides >= 15%
-    # of the sync step at the headline partition degree (E=32,
-    # M=1024, codec + wire model on); and a full training step is
-    # measurably faster end-to-end.
+    # >= 1.3x on the low-occupancy cf=4.0 config (the margin shrank
+    # from 1.5x when the batched baseline stopped computing the
+    # empty-slot broadcast and its backward — the *baseline* got
+    # faster, grouped step time is unchanged) and stays ~flat
+    # across cf in {1, 2, 4, 8}; the fused single-sort routing
+    # kernel beats the legacy one-hot-cumsum chain >= 3x at T=4096,
+    # E=32, k=2; the chunked pipeline hides >= 15% of the sync step
+    # at the headline partition degree (E=32, M=1024, codec + wire
+    # model on); and a full training step is measurably faster
+    # end-to-end.
+    assert report["acceptance"]["routing_fused_speedup"] >= 3.0
     assert report["acceptance"]["dispatch_combine_speedup"] >= 5.0
     assert report["acceptance"]["ec_dispatch_combine_speedup"] >= 5.0
     assert report["acceptance"]["expert_bank_speedup"] >= 3.0
-    assert report["acceptance"]["grouped_vs_batched_speedup"] >= 1.5
+    assert report["acceptance"]["grouped_vs_batched_speedup"] >= 1.3
     assert report["acceptance"]["grouped_cf_flatness"] <= 2.0
     assert report["acceptance"]["overlap_speedup"] >= 1.15
     assert report["acceptance"]["train_step_speedup"] > 1.2
@@ -765,10 +925,11 @@ def main() -> None:
     report = run_hotpath(tiny=args.tiny, repeats=args.repeats)
     write_report(report)
     if not args.tiny:
+        assert report["acceptance"]["routing_fused_speedup"] >= 3.0
         assert report["acceptance"]["dispatch_combine_speedup"] >= 5.0
         assert report["acceptance"]["ec_dispatch_combine_speedup"] >= 5.0
         assert report["acceptance"]["expert_bank_speedup"] >= 3.0
-        assert report["acceptance"]["grouped_vs_batched_speedup"] >= 1.5
+        assert report["acceptance"]["grouped_vs_batched_speedup"] >= 1.3
         assert report["acceptance"]["grouped_cf_flatness"] <= 2.0
         assert report["acceptance"]["overlap_speedup"] >= 1.15
 

@@ -30,6 +30,12 @@ from .gating import (
 )
 from .layer import MoELayer, default_dispatch_mode
 from .parallel import A2ATraffic, ExpertParallelGroup
+from .routing import (
+    RoutingPlan,
+    plan_for_expert_choice,
+    plan_from_indices,
+    route_fused,
+)
 
 __all__ = [
     "A2ATraffic",
@@ -41,6 +47,7 @@ __all__ = [
     "GateOutput",
     "GroupedRouting",
     "MoELayer",
+    "RoutingPlan",
     "default_dispatch_mode",
     "TopKGate",
     "assign_capacity_slots",
@@ -51,5 +58,8 @@ __all__ = [
     "dispatch_grouped",
     "dispatch_sparse",
     "load_balancing_loss",
+    "plan_for_expert_choice",
+    "plan_from_indices",
+    "route_fused",
     "validate_expert_impl",
 ]

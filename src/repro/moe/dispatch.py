@@ -32,6 +32,15 @@ structured inverse: weight and scatter-add the flat expert output
 rows straight into their owning tokens.  Both consume the same
 ``_kept_assignments`` layer as the sparse pair, so token-major top-k
 and flat expert-choice routings work unchanged.
+
+All three index-based entry points accept the gate's cached
+:class:`~repro.moe.routing.RoutingPlan` (``plan=``): the fused
+routing kernel already computed the kept coordinates and the expert-
+major permutation in its single sort, so passing the plan skips the
+``np.nonzero`` re-scan and the per-call ``argsort``/``bincount``
+entirely.  Omitting it keeps the legacy self-contained behaviour —
+the arrays are re-derived from the index arguments — which the parity
+suites use as the independent reference.
 """
 
 from __future__ import annotations
@@ -141,6 +150,7 @@ def dispatch_sparse(
     num_experts: int,
     capacity: int,
     token_indices=None,
+    plan=None,
 ) -> Tensor:
     """Index-based dispatch: (T, M) tokens to (E, C, M) expert inputs.
 
@@ -158,9 +168,14 @@ def dispatch_sparse(
     """
     if tokens.ndim != 2:
         raise ValueError(f"tokens must be (T, M), got {tokens.shape}")
-    token_ids, _, expert_ids, slot_ids = _kept_assignments(
-        expert_indices, slot_indices, token_indices
-    )
+    if plan is not None:
+        token_ids = plan.kept_token_ids
+        expert_ids = plan.kept_expert_ids
+        slot_ids = plan.kept_slot_ids
+    else:
+        token_ids, _, expert_ids, slot_ids = _kept_assignments(
+            expert_indices, slot_indices, token_indices
+        )
     flat_slots = expert_ids * capacity + slot_ids
     rows = gather(tokens, token_ids)  # (N, M)
     out = scatter_add(
@@ -176,6 +191,7 @@ def combine_sparse(
     gate_weights: Tensor,
     num_tokens: int,
     token_indices=None,
+    plan=None,
 ) -> Tensor:
     """Index-based combine: (E, C, M) expert outputs to (T, M) tokens.
 
@@ -197,9 +213,15 @@ def combine_sparse(
             f"expert outputs must be (E, C, M), got {expert_outputs.shape}"
         )
     num_experts, capacity, model_dim = expert_outputs.shape
-    token_ids, weight_index, expert_ids, slot_ids = _kept_assignments(
-        expert_indices, slot_indices, token_indices
-    )
+    if plan is not None:
+        token_ids = plan.kept_token_ids
+        weight_index = plan.kept_weight_index
+        expert_ids = plan.kept_expert_ids
+        slot_ids = plan.kept_slot_ids
+    else:
+        token_ids, weight_index, expert_ids, slot_ids = _kept_assignments(
+            expert_indices, slot_indices, token_indices
+        )
     flat_slots = expert_ids * capacity + slot_ids
     rows = gather(
         expert_outputs.reshape(num_experts * capacity, model_dim), flat_slots
@@ -240,6 +262,7 @@ def dispatch_grouped(
     slot_indices: np.ndarray,
     num_experts: int,
     token_indices=None,
+    plan=None,
 ) -> Tuple[Tensor, GroupedRouting]:
     """Capacity-free dispatch: (T, M) tokens to flat per-expert segments.
 
@@ -258,6 +281,15 @@ def dispatch_grouped(
     """
     if tokens.ndim != 2:
         raise ValueError(f"tokens must be (T, M), got {tokens.shape}")
+    if plan is not None:
+        # The fused kernel's single sort already produced the expert-
+        # major permutation — no argsort, no bincount.
+        routing = GroupedRouting(
+            segment_counts=plan.segment_counts,
+            token_ids=plan.grouped_token_ids,
+            weight_index=plan.grouped_weight_index,
+        )
+        return gather(tokens, routing.token_ids), routing
     token_ids, weight_index, expert_ids, _ = _kept_assignments(
         expert_indices, slot_indices, token_indices
     )

@@ -15,16 +15,20 @@ MegaBlocks make for exactly this loop-of-small-GEMMs pathology.
 
 Three execution strategies share the parameters:
 
-* ``expert_impl="batched"`` — two ``bmm`` calls over the
-  bank, *occupancy-aware*: given the gate's per-expert slot counts,
-  only the occupied slot prefix ``[:max_fill]`` of the (E, C, M)
-  capacity buffer enters the GEMMs.  The remaining padding slots all
-  hold zero rows, whose FFN output is the closed-form "empty-slot
-  response" ``fc2(act(b1))`` — computed once per expert, (E, 1, M),
-  and broadcast.  GEMM FLOPs therefore scale with ``E * max_fill``
-  (~ the routed token count N under balanced routing) instead of
-  ``E * C``, while the output stays bit-identical to running the FFN
-  over every slot.
+* ``expert_impl="batched"`` — a *reference tier*: two ``bmm`` calls
+  over the bank, *occupancy-aware*: given the gate's per-expert slot
+  counts, only the occupied slot prefix ``[:max_fill]`` of the
+  (E, C, M) capacity buffer enters the GEMMs.  The remaining padding
+  slots are zero-filled — every consumer (sparse and dense combine
+  alike) carries a zero combine weight at unoccupied slots, so the
+  padding values are structurally unobservable downstream.  (An older
+  formulation broadcast the closed-form "empty-slot response"
+  ``fc2(act(b1))`` into the padding to stay bit-identical to running
+  the FFN over every zero row; with ``"grouped"`` the process default
+  that machinery is retired — the loop reference still produces the
+  response at padding slots, so bank-level parity is asserted on the
+  occupied prefix.)  GEMM FLOPs scale with ``E * max_fill`` (~ the
+  routed token count N under balanced routing) instead of ``E * C``.
 * ``expert_impl="grouped"`` (the process default) — *capacity-free*,
   MegaBlocks-style: the flat routed rows, sorted by expert, flow
   through :func:`~repro.nn.tensor.segment_matmul` — each expert's contiguous
@@ -34,8 +38,8 @@ Three execution strategies share the parameters:
   :class:`~repro.moe.parallel.ExpertParallelGroup` use; when handed a
   capacity-form (E, C, M) buffer (dense dispatch mode, parity tests),
   :meth:`Experts.forward` gathers the occupied prefix rows, runs them
-  grouped, and scatters them back with the empty-slot response in the
-  padding — same answers, buffer only at the boundary.
+  grouped, and scatters them back into a zero buffer — same answers
+  at every occupied slot, buffer only at the boundary.
 * ``expert_impl="loop"`` — the reference: one expert at a time over
   its full capacity slice, Python-level, kept selectable for parity
   testing (`tests/moe/test_expert_bank.py` and
@@ -207,16 +211,6 @@ class Experts(Module):
         )
         return segment_matmul(h, self.w2, counts) + gather(b2, expert_of_row)
 
-    def empty_slot_response(self) -> Tensor:
-        """Each expert's FFN output for an all-zero input row, (E, 1, M).
-
-        A zero row through ``x @ w1 + b1`` is exactly ``b1``, so the
-        response is ``fc2(act(b1))`` — the value every padding slot of
-        the capacity buffer produces.  The batched path broadcasts
-        this instead of paying GEMM FLOPs for rows known to be zero.
-        """
-        return bmm(self._act(self.b1), self.w2) + self.b2
-
     def _validate(self, dispatched: Tensor) -> None:
         if (
             dispatched.ndim != 3
@@ -238,9 +232,11 @@ class Experts(Module):
         ``expert_load`` (optional) is the gate's per-expert occupied
         slot count — ``GateOutput.expert_load``.  With it, the batched
         path runs the GEMMs only over the occupied slot prefix (and
-        the grouped path gathers exactly the occupied rows) and the
-        closed-form empty-slot response is broadcast into the rest;
-        without it, every slot goes through the GEMMs.  Outputs are
+        the grouped path gathers exactly the occupied rows) while the
+        padding slots stay zero — unobservable downstream, since every
+        combine carries a zero weight there; without it, every slot
+        (zero rows included) goes through the GEMMs, which is also
+        what the loop reference does.  Occupied-slot outputs are
         bit-identical either way.
         """
         self._validate(dispatched)
@@ -270,15 +266,11 @@ class Experts(Module):
         out = bmm(h, self.w2) + self.b2
         if active == capacity:
             return out
-        # Padding slots: all-zero rows, filled by broadcasting the
-        # (E, 1, M) empty-slot response (adding a zero tensor of the
-        # target shape broadcasts differentiably — the backward sums
-        # the padding slots' gradient back into b1/w2/b2, exactly as
-        # running the FFN on each zero row would).
+        # Padding slots stay zero: their combine weight is zero in
+        # every consumer, so no FLOPs (and no gradient wiring) are
+        # spent on values nothing can observe.
         pad_shape = (self.num_experts, capacity - active, self.model_dim)
-        padding = self.empty_slot_response() + Tensor(
-            np.zeros(pad_shape, dtype=np.float32)
-        )
+        padding = Tensor(np.zeros(pad_shape, dtype=np.float32))
         return concatenate([out, padding], axis=1)
 
     def _grouped_capacity(
@@ -291,9 +283,8 @@ class Experts(Module):
         occupied prefix rows (all ``E * C`` rows when ``fill`` is
         unknown) are gathered into the flat sorted-by-expert form,
         run through :meth:`run_grouped`, and scattered back to their
-        unique ``expert * C + slot`` origins; padding slots get the
-        broadcast empty-slot response, exactly as the batched path
-        fills them.
+        unique ``expert * C + slot`` origins; padding slots stay zero,
+        exactly as the batched path leaves them.
         """
         num_experts, capacity, model_dim = dispatched.shape
         flat = dispatched.reshape(num_experts * capacity, model_dim)
@@ -311,12 +302,6 @@ class Experts(Module):
             + within
         )
         out_rows = self.run_grouped(gather(flat, row_idx), counts)
-        out = scatter_add(
+        return scatter_add(
             out_rows, row_idx, num_experts * capacity, unique_indices=True
         ).reshape(dispatched.shape)
-        if total == num_experts * capacity:
-            return out
-        pad = (np.arange(capacity)[None, :] >= counts[:, None]).astype(
-            np.float32
-        )
-        return out + self.empty_slot_response() * Tensor(pad[:, :, None])

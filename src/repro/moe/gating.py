@@ -10,13 +10,17 @@ the combine *weights* carry gradient through the softmax, and the
 standard load-balancing auxiliary loss keeps the router from
 collapsing onto few experts.
 
-Slot assignment is fully vectorized: a cumulative-sum over the
-choice-major one-hot expert mask yields each assignment's position
-within its expert's intake (its capacity slot), replacing the
-``top_k x num_tokens`` Python loop with ``O(k * T * E)`` numpy work.
-The ordering is identical to GShard's greedy FCFS rule — all first
-choices in token order, then all second choices — so routing results
-are bit-for-bit the same as the loop's.
+Slot assignment runs through the fused routing kernel
+(:func:`~repro.moe.routing.route_fused`): one stable argsort over the
+flat ``(k*T,)`` expert ids yields the capacity slots, the drop mask,
+per-expert counts *and* the expert-major permutation every downstream
+consumer needs, cached on :class:`GateOutput` as a
+:class:`~repro.moe.routing.RoutingPlan`.  The ordering is identical
+to GShard's greedy FCFS rule — all first choices in token order, then
+all second choices — so routing results are bit-for-bit the same as
+the reference loop's (and as :func:`assign_capacity_slots`, the
+retained ``O(k * T * E)`` one-hot cumsum formulation the parity suite
+checks against).
 
 :class:`GateOutput` carries the routing natively in *sparse* index
 form (``(T, k)`` expert/slot indices plus ``(T, k)`` differentiable
@@ -34,6 +38,7 @@ import numpy as np
 from ..nn import functional as F
 from ..nn.modules import Linear, Module
 from ..nn.tensor import Tensor
+from .routing import RoutingPlan, plan_from_indices, route_fused
 
 
 class GateOutput:
@@ -85,6 +90,7 @@ class GateOutput:
         gate_weights: Optional[Tensor] = None,
         num_tokens: Optional[int] = None,
         num_experts: Optional[int] = None,
+        plan: Optional[RoutingPlan] = None,
     ):
         self.aux_loss = aux_loss
         self.expert_load = expert_load
@@ -96,6 +102,7 @@ class GateOutput:
         self.gate_weights = gate_weights
         self._dispatch_mask = dispatch_mask
         self._combine_weights = combine_weights
+        self._plan = plan
         if expert_indices is not None:
             if num_experts is None:
                 raise ValueError("sparse GateOutput needs num_experts")
@@ -136,6 +143,34 @@ class GateOutput:
     def has_sparse(self) -> bool:
         """Whether index-based routing fields are available."""
         return self.expert_indices is not None
+
+    @property
+    def plan(self) -> RoutingPlan:
+        """The routing's :class:`~repro.moe.routing.RoutingPlan`.
+
+        Gates that route through :func:`~repro.moe.routing.route_fused`
+        attach the plan at construction; otherwise (and for degraded
+        routings from :meth:`with_experts_dropped`, whose slot holes
+        break the fused kernel's FCFS-prefix invariant) it is built
+        lazily — one stable argsort — from the actual index arrays and
+        cached.  Every ordering consumer (sparse/grouped dispatch and
+        combine, the chunked layer path, expert-parallel C1) reads
+        slices of this one permutation.
+        """
+        if self._plan is None:
+            if not self.has_sparse:
+                raise ValueError(
+                    "dense-only GateOutput carries no routing plan"
+                )
+            self._plan = plan_from_indices(
+                self.expert_indices,
+                self.slot_indices,
+                self.token_indices,
+                self._num_experts,
+                self._num_tokens,
+                self.capacity,
+            )
+        return self._plan
 
     @property
     def drop_fraction(self) -> float:
@@ -213,20 +248,16 @@ class GateOutput:
         pairs in the token-major layout, flat positions in the flat
         layout — so ``gate_weights.data[w_idx]`` (or the differentiable
         ``gate_weights[w_idx]``) selects each kept assignment's weight
-        in either form.
+        in either form.  Served from the cached :attr:`plan` — the
+        ``np.nonzero`` re-scan this used to do is part of what the
+        fused kernel already computed.
         """
-        if self.expert_indices.ndim == 2:
-            kept = self.slot_indices >= 0
-            token_ids, choice_ids = np.nonzero(kept)
-            expert_ids = self.expert_indices[token_ids, choice_ids]
-            slot_ids = self.slot_indices[token_ids, choice_ids]
-            return token_ids, expert_ids, slot_ids, (token_ids, choice_ids)
-        (pos,) = np.nonzero(self.slot_indices >= 0)
+        plan = self.plan
         return (
-            self.token_indices[pos],
-            self.expert_indices[pos],
-            self.slot_indices[pos],
-            (pos,),
+            plan.kept_token_ids,
+            plan.kept_expert_ids,
+            plan.kept_slot_ids,
+            plan.kept_weight_index,
         )
 
     @property
@@ -270,7 +301,13 @@ class GateOutput:
 def assign_capacity_slots(
     top_idx: np.ndarray, num_experts: int, capacity: int
 ) -> np.ndarray:
-    """Vectorized GShard FCFS slot assignment.
+    """Vectorized GShard FCFS slot assignment (legacy reference).
+
+    The hot path is :func:`~repro.moe.routing.route_fused`, which
+    produces bit-identical slots from one sort; this one-hot cumsum
+    formulation stays as the independently-derived reference the
+    parity suites compare against (it is ``O(T*k*E)`` in time *and*
+    memory, the blow-up the fused kernel removes).
 
     ``top_idx`` is the (T, k) expert choice of every token.  Choices
     are processed choice-major — all first choices in token order,
@@ -365,17 +402,16 @@ class TopKGate(Module):
         raw = probs.data
         top_idx = F.top_k_indices(raw, self.top_k, axis=-1)  # (T, k)
 
-        # Capacity slots, greedily in token order per expert, with
-        # priority to lower-ranked (higher-probability) choices —
-        # GShard processes the k-th choice after all (k-1)-th choices.
-        positions = assign_capacity_slots(top_idx, self.num_experts, cap)
-
+        # One fused pass: capacity slots (greedily in token order per
+        # expert, with priority to lower-ranked choices — GShard
+        # processes the k-th choice after all (k-1)-th choices), the
+        # drop count, per-expert fill, AND the expert-major
+        # permutation every downstream consumer reuses.
+        plan = route_fused(top_idx, self.num_experts, cap)
+        positions = plan.slot_indices
         kept = positions >= 0
-        dropped = int((~kept).sum())
-        counts = np.bincount(
-            top_idx.reshape(-1), minlength=self.num_experts
-        ).astype(np.int64)
-        fill = np.minimum(counts, cap)
+        dropped = plan.dropped_assignments
+        fill = plan.expert_load
 
         # Combine weights: the gate probability of each kept
         # assignment, renormalized over the token's kept experts.
@@ -384,10 +420,14 @@ class TopKGate(Module):
         denom = (gathered * Tensor(kept_f)).sum(axis=-1, keepdims=True) + 1e-9
         norm = gathered * Tensor(kept_f) / denom  # (T, k), 0 at dropped
 
-        first_choice = (
-            top_idx[:, 0] if num_tokens else np.zeros(0, dtype=np.int64)
+        # First-choice counts fall out of the plan's fused per-
+        # (expert, choice) counts — no separate bincount pass.
+        aux = load_balancing_loss(
+            probs,
+            None,
+            self.num_experts,
+            first_choice_counts=plan.choice_counts[:, 0],
         )
-        aux = load_balancing_loss(probs, first_choice, self.num_experts)
         return GateOutput(
             aux_loss=aux,
             expert_load=fill,
@@ -398,23 +438,35 @@ class TopKGate(Module):
             gate_weights=norm,
             num_tokens=num_tokens,
             num_experts=self.num_experts,
+            plan=plan,
         )
 
 
 def load_balancing_loss(
-    probs: Tensor, first_choice: np.ndarray, num_experts: int
+    probs: Tensor,
+    first_choice: Optional[np.ndarray],
+    num_experts: int,
+    first_choice_counts: Optional[np.ndarray] = None,
 ) -> Tensor:
     """GShard / Switch auxiliary loss: ``E * sum_e m_e * c_e``.
 
     ``m_e`` is the mean gate probability of expert e over the batch
     (differentiable); ``c_e`` the fraction of tokens whose first
     choice is e (discrete).  Minimized at uniform routing where it
-    equals 1.
+    equals 1.  The per-expert first-choice counts may be passed in
+    precomputed (``first_choice_counts``, e.g. a
+    :attr:`~repro.moe.routing.RoutingPlan.choice_counts` column) in
+    place of the raw ``first_choice`` id array.
     """
-    if first_choice.shape[0] == 0:
+    num_tokens = probs.shape[0]
+    if num_tokens == 0:
         # No tokens: a zero loss still wired to the gate's tape.
         return probs.sum() * 0.0
-    counts = np.bincount(first_choice, minlength=num_experts).astype(np.float32)
-    frac = counts / max(first_choice.shape[0], 1)
+    if first_choice_counts is None:
+        first_choice_counts = np.bincount(
+            first_choice, minlength=num_experts
+        )
+    counts = first_choice_counts.astype(np.float32)
+    frac = counts / max(num_tokens, 1)
     mean_probs = probs.mean(axis=0)  # (E,)
     return (mean_probs * Tensor(frac)).sum() * float(num_experts)

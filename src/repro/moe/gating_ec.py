@@ -29,6 +29,7 @@ from ..nn import functional as F
 from ..nn.modules import Linear, Module
 from ..nn.tensor import Tensor
 from .gating import GateOutput
+from .routing import plan_for_expert_choice
 
 
 class ExpertChoiceGate(Module):
@@ -105,6 +106,9 @@ class ExpertChoiceGate(Module):
                 gate_weights=probs[empty, empty.copy()],
                 num_tokens=num_tokens,
                 num_experts=self.num_experts,
+                plan=plan_for_expert_choice(
+                    empty, empty, empty, self.num_experts, num_tokens, 0
+                ),
             )
 
         # Each expert picks its top-cap tokens by affinity.  Flatten
@@ -121,6 +125,13 @@ class ExpertChoiceGate(Module):
 
         load = np.full(self.num_experts, cap, dtype=np.int64)
         dropped = int(num_tokens - len(np.unique(token_ids)))
+        # The flat arrays are structurally expert-major sorted with no
+        # drops, so the routing plan is the identity permutation — no
+        # sort of any kind.
+        plan = plan_for_expert_choice(
+            token_ids, expert_ids, slot_ids,
+            self.num_experts, num_tokens, cap,
+        )
         return GateOutput(
             aux_loss=aux,
             expert_load=load,
@@ -132,4 +143,5 @@ class ExpertChoiceGate(Module):
             gate_weights=gate_weights,
             num_tokens=num_tokens,
             num_experts=self.num_experts,
+            plan=plan,
         )

@@ -30,6 +30,7 @@ from ..nn.modules import Module
 from ..nn.tensor import Tensor
 from .dispatch import (
     DISPATCH_MODES,
+    GroupedRouting,
     combine,
     combine_grouped,
     combine_sparse,
@@ -282,6 +283,7 @@ class MoELayer(Module):
                     gate_out.slot_indices,
                     gate_out.num_experts,
                     token_indices=gate_out.token_indices,
+                    plan=gate_out.plan,
                 )
                 self.last_dispatched = rows.data
                 rows = self._transport(rows)  # first A2A
@@ -308,6 +310,7 @@ class MoELayer(Module):
                 gate_out.num_experts,
                 gate_out.capacity,
                 token_indices=gate_out.token_indices,
+                plan=gate_out.plan,
             )
         else:
             dispatched = dispatch(tokens, gate_out.dispatch_mask)
@@ -323,6 +326,7 @@ class MoELayer(Module):
                 gate_out.gate_weights,
                 gate_out.num_tokens,
                 token_indices=gate_out.token_indices,
+                plan=gate_out.plan,
             )
         else:
             merged = combine(expert_out, gate_out.combine_weights)
@@ -339,8 +343,9 @@ class MoELayer(Module):
         The batch splits into ``num_chunks`` contiguous token ranges
         (the paper's partition degree r); each range runs the
         C1 A1 D1 E C2 A2 D2 chain of :mod:`repro.core.tasks` with real
-        work: C1 = :func:`dispatch_grouped` on the chunk's slice, A1 /
-        A2 = the codec transport hop, E =
+        work: C1 = the chunk's restriction of the gate's cached
+        :class:`~repro.moe.routing.RoutingPlan` plus the token gather,
+        A1 / A2 = the codec transport hop, E =
         :meth:`~repro.moe.experts.Experts.run_grouped`, D2 =
         :func:`combine_grouped` into the chunk's own output rows (D1
         and C2 have nothing to do single-process — the flat rows *are*
@@ -348,6 +353,12 @@ class MoELayer(Module):
         order.  Every task builds autograd nodes only on its chunk's
         private subgraph, so the overlap executor's two threads never
         race on tape state; backward runs later, single-threaded.
+
+        C1 never sorts: chunk boundaries never split a token's k
+        assignments, and restricting the plan's global expert-major
+        order to a contiguous token range yields bit-for-bit what a
+        per-chunk stable argsort (the pre-fusion C1) would — a masked
+        slice of the one permutation the gate already computed.
         """
         from ..core.runtime import (
             StreamExecutor,
@@ -355,28 +366,34 @@ class MoELayer(Module):
             run_inline,
         )
         from ..core.tasks import Task, TaskKind
-        from ..nn.tensor import concatenate
+        from ..nn.tensor import concatenate, gather
 
         gate = gate_out
+        plan = gate.plan
         r = self.num_chunks
         bounds = chunk_bounds(gate.num_tokens, r)
         flat = np.asarray(gate.expert_indices).ndim == 1
         if flat:
             owner = np.asarray(gate.token_indices)
+        # Owning chunk of each grouped (expert-major) row.
+        chunk_of = (
+            np.searchsorted(bounds, plan.grouped_token_ids, side="right") - 1
+        )
 
         chunks = []
         for c in range(r):
             lo, hi = int(bounds[c]), int(bounds[c + 1])
             if flat:
-                # Flat (N,) layout: pick the assignments whose owning
-                # token falls in the range, re-based to the slice.
+                # Flat (N,) layout: the chunk's gate weights are the
+                # assignments whose owning token falls in the range
+                # (``pos`` ascending, so searchsorted re-bases the
+                # plan's global flat positions to this slice in C1).
                 (pos,) = np.nonzero((owner >= lo) & (owner < hi))
                 chunks.append(
                     dict(
                         tokens=tokens[lo:hi],
-                        expert_indices=gate.expert_indices[pos],
-                        slot_indices=gate.slot_indices[pos],
-                        token_indices=owner[pos] - lo,
+                        lo=lo,
+                        pos=pos,
                         gate_weights=gate.gate_weights[pos],
                         num_tokens=hi - lo,
                     )
@@ -385,9 +402,8 @@ class MoELayer(Module):
                 chunks.append(
                     dict(
                         tokens=tokens[lo:hi],
-                        expert_indices=gate.expert_indices[lo:hi],
-                        slot_indices=gate.slot_indices[lo:hi],
-                        token_indices=None,
+                        lo=lo,
+                        pos=None,
                         gate_weights=gate.gate_weights[lo:hi],
                         num_tokens=hi - lo,
                     )
@@ -400,13 +416,25 @@ class MoELayer(Module):
         dispatched: list = [None] * r
 
         def c1(c):
-            rows[c], routing[c] = dispatch_grouped(
-                chunks[c]["tokens"],
-                chunks[c]["expert_indices"],
-                chunks[c]["slot_indices"],
-                gate.num_experts,
-                token_indices=chunks[c]["token_indices"],
+            (m,) = np.nonzero(chunk_of == c)
+            local_tok = plan.grouped_token_ids[m] - chunks[c]["lo"]
+            counts = np.bincount(
+                plan.grouped_expert_ids[m], minlength=gate.num_experts
+            ).astype(np.int64)
+            if flat:
+                weight_index = (
+                    np.searchsorted(
+                        chunks[c]["pos"], plan.grouped_weight_index[0][m]
+                    ),
+                )
+            else:
+                weight_index = (local_tok, plan.grouped_weight_index[1][m])
+            routing[c] = GroupedRouting(
+                segment_counts=counts,
+                token_ids=local_tok,
+                weight_index=weight_index,
             )
+            rows[c] = gather(chunks[c]["tokens"], local_tok)
             dispatched[c] = rows[c].data
 
         def a1(c):

@@ -298,15 +298,30 @@ class ExpertParallelGroup:
         expert_ids: List[np.ndarray] = []
         weights: List[np.ndarray] = []
         members: List[List[np.ndarray]] = []  # [w][c] kept positions
+        plans = []  # [w] the gate's cached RoutingPlan
+        grouped_members: List[List[np.ndarray]] = []  # [w][c] grouped rows
         for w in workers:
-            t_ids, e_ids, _, w_idx = gate_outputs[w]._kept_coords()
-            token_ids.append(t_ids)
-            expert_ids.append(e_ids)
-            weights.append(gate_outputs[w].gate_weights.data[w_idx])
+            plan = gate_outputs[w].plan
+            plans.append(plan)
+            token_ids.append(plan.kept_token_ids)
+            expert_ids.append(plan.kept_expert_ids)
+            weights.append(
+                gate_outputs[w].gate_weights.data[plan.kept_weight_index]
+            )
             bounds = chunk_bounds(shards[w].shape[0], r)
-            chunk_of = np.searchsorted(bounds, t_ids, side="right") - 1
+            chunk_of = np.searchsorted(
+                bounds, plan.kept_token_ids, side="right"
+            ) - 1
             members.append(
                 [np.nonzero(chunk_of == c)[0] for c in range(r)]
+            )
+            # The same restriction over the plan's expert-major order:
+            # C1 slices these instead of re-sorting per chunk.
+            g_chunk = np.searchsorted(
+                bounds, plan.grouped_token_ids, side="right"
+            ) - 1
+            grouped_members.append(
+                [np.nonzero(g_chunk == c)[0] for c in range(r)]
             )
 
         outputs = [
@@ -329,17 +344,24 @@ class ExpertParallelGroup:
         return_map: Dict[tuple, np.ndarray] = {}
 
         def compress_dispatch(c: int) -> None:
-            """C1: per-source flat payloads for the chunk's tokens."""
+            """C1: per-source flat payloads for the chunk's tokens.
+
+            No per-chunk argsort: the chunk's expert-major order is
+            the gate plan's global permutation restricted to the
+            chunk's (contiguous) token range, bit-identical to what
+            sorting the chunk's kept assignments would produce —
+            ``searchsorted`` re-bases it to chunk-local positions.
+            """
             payloads = []
             for src in workers:
                 sel = members[src][c]
                 if sel.size == 0:
                     continue
-                e_sel = expert_ids[src][sel]
-                order = np.argsort(e_sel, kind="stable")
-                sorted_sel = sel[order]
+                gm = grouped_members[src][c]
+                sorted_sel = plans[src].grouped_kept_pos[gm]
+                order = np.searchsorted(sel, sorted_sel)
                 counts = np.bincount(
-                    e_sel, minlength=num_experts
+                    plans[src].grouped_expert_ids[gm], minlength=num_experts
                 ).astype(np.int64)
                 offset = 0
                 for dst in workers:

@@ -1,0 +1,412 @@
+"""Fused single-pass routing: one sort from gate choices to permutation.
+
+The legacy routing chain orders the same assignments four times over:
+:func:`~repro.moe.gating.assign_capacity_slots` materializes a
+``(k*T, E)`` one-hot and cumsums it (``O(T*k*E)`` compute *and* memory
+for an ``O(T*k)``-sized answer), ``_kept_assignments`` re-scans the
+slot arrays with ``np.nonzero``, :func:`~repro.moe.dispatch.
+dispatch_grouped` re-derives the expert order with a fresh stable
+argsort plus a ``bincount``, and the expert-parallel C1 task argsorts
+*again* per chunk per source.  :func:`route_fused` collapses all of it
+into **one** stable argsort over the flat ``(k*T,)`` expert ids; every
+other quantity is linear arithmetic on that single permutation.
+
+The derivation (all bit-identical to the legacy chain):
+
+* Sort the *token-major* flat ids ``top_idx.reshape(-1)`` (flat
+  position ``q = t*k + c``).  A stable sort by expert yields the
+  lexicographic ``(e, t, c)`` order — restricted to kept entries this
+  is exactly ``dispatch_grouped``'s ``argsort(expert_ids_kept)``
+  permutation, because stable sorting a subsequence preserves its
+  relative order.
+* FCFS slot ranks are *choice-major* (``(e, c, t)`` priority: all
+  first choices in token order, then all second choices — GShard's
+  greedy rule), which is a different order — but it never needs a
+  second sort.  For a sorted entry with expert ``e`` and choice ``c``
+  its rank splits into ``#{same e, smaller c}`` (a cumulative-sum
+  difference over per-``(e, c)`` pair counts) plus its occurrence
+  index within the ``(e, c)`` group (the sorted order within a group
+  is already ascending in ``t``), computed per choice with one
+  ``bincount``/``repeat`` pass — ``O(k * (T*k + E))`` total.
+* Rank ``>= capacity`` is precisely the assignment the greedy loop
+  drops, because a skipped assignment never frees a slot; everything
+  else (kept coordinates, the grouped permutation, segment counts,
+  the per-``(e, c)`` counts the aux loss needs) falls out of the same
+  arrays.
+
+The result is packaged as a :class:`RoutingPlan` and cached on
+:class:`~repro.moe.gating.GateOutput`, so every consumer — sparse and
+grouped dispatch/combine, the chunked layer path, the expert-parallel
+C1 dispatch — reuses slices of the one global permutation instead of
+recomputing ``nonzero``/``argsort``/``bincount``.  Chunked consumers
+rely on the *restriction property*: chunk boundaries never split a
+token's k assignments, and restricting the global ``(e, t, c)`` order
+to a contiguous token range gives exactly what a per-chunk stable
+argsort would — so a chunk's routing is a masked slice of the plan.
+
+:func:`plan_from_indices` builds the same plan generically from
+arbitrary sparse index arrays (either layout) for routings that do
+not come out of the fused top-k kernel — expert-choice gates and
+degraded routings whose slot holes break the FCFS-prefix invariant
+(:meth:`GateOutput.with_experts_dropped`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RoutingPlan:
+    """Every ordering-derived quantity of one batch's routing, computed once.
+
+    Arrays come in three alignments:
+
+    * per-assignment (``slot_indices`` — token-major ``(T, k)`` or
+      flat ``(N,)``, matching the gate's layout);
+    * kept-assignment order (``kept_*`` — the ``np.nonzero`` scan
+      order of the kept mask, i.e. ascending flat position);
+    * grouped (expert-major) order (``grouped_*`` — kept assignments
+      sorted stably by expert, the ``segment_matmul`` layout).
+
+    ``grouped_kept_pos`` is the permutation between the last two: it
+    maps each grouped row to its position in the kept-order arrays
+    (``kept_token_ids[grouped_kept_pos] == grouped_token_ids``).
+    """
+
+    #: ``"topk"`` (token-major ``(T, k)``) or ``"flat"`` (``(N,)``).
+    layout: str
+    num_tokens: int
+    num_experts: int
+    capacity: int
+    #: Choices per token (token-major layout only, else ``None``).
+    top_k: Optional[int]
+
+    #: (E,) assignments per expert *before* the capacity cut.
+    counts: np.ndarray
+    #: (E, k) assignments per (expert, choice) — fused top-k only.
+    choice_counts: Optional[np.ndarray]
+    #: Slot of every assignment (``-1`` = dropped), gate's layout.
+    slot_indices: np.ndarray
+    #: Assignments dropped by the capacity cut.
+    dropped_assignments: int
+
+    #: Kept-order coordinate arrays (what ``_kept_coords`` returns).
+    kept_token_ids: np.ndarray
+    kept_expert_ids: np.ndarray
+    kept_slot_ids: np.ndarray
+    #: Index tuple selecting each kept assignment's gate weight.
+    kept_weight_index: Tuple[np.ndarray, ...]
+
+    #: (N,) grouped row -> position in the kept-order arrays.
+    grouped_kept_pos: np.ndarray
+    #: (N,) owning token of each grouped row.
+    grouped_token_ids: np.ndarray
+    #: (N,) expert of each grouped row (non-decreasing).
+    grouped_expert_ids: np.ndarray
+    #: Index tuple selecting each grouped row's gate weight.
+    grouped_weight_index: Tuple[np.ndarray, ...]
+    #: (E,) kept assignments per expert — the segment lengths.
+    segment_counts: np.ndarray
+
+    @property
+    def expert_load(self) -> np.ndarray:
+        """(E,) occupied slots per expert (== the segment lengths)."""
+        return self.segment_counts
+
+    @property
+    def num_kept(self) -> int:
+        return int(self.grouped_token_ids.shape[0])
+
+
+def _empty_plan(
+    layout: str,
+    num_tokens: int,
+    num_experts: int,
+    capacity: int,
+    top_k: Optional[int],
+    slot_indices: np.ndarray,
+    counts: np.ndarray,
+    choice_counts: Optional[np.ndarray],
+    dropped: int,
+    weight_arity: int,
+) -> RoutingPlan:
+    empty = np.zeros(0, dtype=np.int64)
+    empty_widx = tuple(empty for _ in range(weight_arity))
+    return RoutingPlan(
+        layout=layout,
+        num_tokens=num_tokens,
+        num_experts=num_experts,
+        capacity=capacity,
+        top_k=top_k,
+        counts=counts,
+        choice_counts=choice_counts,
+        slot_indices=slot_indices,
+        dropped_assignments=dropped,
+        kept_token_ids=empty,
+        kept_expert_ids=empty,
+        kept_slot_ids=empty,
+        kept_weight_index=empty_widx,
+        grouped_kept_pos=empty,
+        grouped_token_ids=empty,
+        grouped_expert_ids=empty,
+        grouped_weight_index=empty_widx,
+        segment_counts=np.zeros(num_experts, dtype=np.int64),
+    )
+
+
+def route_fused(
+    top_idx: np.ndarray, num_experts: int, capacity: int
+) -> RoutingPlan:
+    """One stable sort from ``(T, k)`` gate choices to a full plan.
+
+    Bit-identical to the legacy chain: ``slot_indices`` matches
+    :func:`~repro.moe.gating.assign_capacity_slots` (choice-major FCFS
+    with drops at capacity), the ``kept_*`` arrays match the
+    ``np.nonzero`` scan of the kept mask, and the ``grouped_*`` arrays
+    match ``dispatch_grouped``'s stable argsort (token-major
+    tie-breaking within an expert).  See the module docstring for the
+    derivation.
+    """
+    top_idx = np.asarray(top_idx)
+    if top_idx.ndim != 2:
+        raise ValueError(
+            f"top_idx must be (tokens, k), got shape {top_idx.shape}"
+        )
+    if num_experts < 1:
+        raise ValueError(f"num_experts must be >= 1, got {num_experts}")
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+    num_tokens, top_k = top_idx.shape
+    n = num_tokens * top_k
+
+    flat_experts = top_idx.reshape(-1)
+    counts = np.bincount(flat_experts, minlength=num_experts).astype(np.int64)
+    if counts.shape[0] != num_experts:
+        raise ValueError(
+            f"expert index {int(flat_experts.max())} out of range for "
+            f"{num_experts} experts"
+        )
+    if n == 0 or capacity == 0:
+        # Everything drops, but the per-(expert, choice) counts must
+        # still be real: the gate's aux loss reads first-choice counts
+        # from the plan whatever the capacity.
+        if n:
+            pair_all = flat_experts * top_k + (
+                np.arange(n, dtype=np.int64) % top_k
+            )
+            choice_counts = (
+                np.bincount(pair_all, minlength=num_experts * top_k)
+                .reshape(num_experts, top_k)
+                .astype(np.int64)
+            )
+        else:
+            choice_counts = np.zeros((num_experts, top_k), dtype=np.int64)
+        slots = np.full((num_tokens, top_k), -1, dtype=np.int64)
+        return _empty_plan(
+            "topk", num_tokens, num_experts, capacity, top_k,
+            slots, counts, choice_counts, n, weight_arity=2,
+        )
+
+    # THE sort: stable over token-major flat ids -> (e, t, c) order.
+    order = np.argsort(flat_experts, kind="stable")
+    sorted_experts = flat_experts[order]
+    sorted_choice = order % top_k
+
+    # Choice-major FCFS rank of each sorted assignment, no second
+    # sort.  term 1: assignments of the same expert with a strictly
+    # smaller choice all precede it in the (e, c, t) priority order.
+    pair = sorted_experts * top_k + sorted_choice
+    pair_counts = np.bincount(pair, minlength=num_experts * top_k)
+    choice_counts = pair_counts.reshape(num_experts, top_k).astype(np.int64)
+    cum = np.concatenate(([0], np.cumsum(pair_counts)))
+    rank = cum[pair] - cum[sorted_experts * top_k]
+    # term 2: its occurrence index within the (e, c) group.  The
+    # choice-c subsequence of the sorted array keeps the expert
+    # grouping and is ascending in token within each group, so the
+    # occurrence index is position-minus-run-start.
+    for c in range(top_k):
+        (idx,) = np.nonzero(sorted_choice == c)
+        sub_counts = np.bincount(sorted_experts[idx], minlength=num_experts)
+        starts = np.repeat(
+            np.concatenate(([0], np.cumsum(sub_counts[:-1]))), sub_counts
+        )
+        rank[idx] += np.arange(idx.shape[0], dtype=np.int64) - starts
+
+    # Rank >= capacity is exactly the greedy loop's drop: a skipped
+    # assignment never frees a slot.
+    slot_sorted = np.where(rank < capacity, rank, -1)
+    slot_flat = np.empty(n, dtype=np.int64)
+    slot_flat[order] = slot_sorted
+    slot_indices = slot_flat.reshape(num_tokens, top_k)
+
+    # Kept coordinates in nonzero-scan (ascending flat q) order.
+    kept = slot_indices >= 0
+    kept_token_ids, kept_choice_ids = np.nonzero(kept)
+    kept_expert_ids = top_idx[kept_token_ids, kept_choice_ids]
+    kept_slot_ids = slot_indices[kept_token_ids, kept_choice_ids]
+    num_kept = kept_token_ids.shape[0]
+
+    # Grouped permutation: the kept subsequence of THE sort.
+    kept_sorted = slot_sorted >= 0
+    perm = order[kept_sorted]  # flat q positions, expert-major
+    grouped_token_ids = perm // top_k
+    grouped_choice_ids = perm % top_k
+    # Position of each grouped row in the kept-order arrays, via the
+    # inverse kept-rank map — O(n), replacing dispatch_grouped's sort.
+    kept_rank = np.empty(n, dtype=np.int64)
+    kept_rank[kept_token_ids * top_k + kept_choice_ids] = np.arange(
+        num_kept, dtype=np.int64
+    )
+    grouped_kept_pos = kept_rank[perm]
+
+    return RoutingPlan(
+        layout="topk",
+        num_tokens=num_tokens,
+        num_experts=num_experts,
+        capacity=capacity,
+        top_k=top_k,
+        counts=counts,
+        choice_counts=choice_counts,
+        slot_indices=slot_indices,
+        dropped_assignments=n - num_kept,
+        kept_token_ids=kept_token_ids,
+        kept_expert_ids=kept_expert_ids,
+        kept_slot_ids=kept_slot_ids,
+        kept_weight_index=(kept_token_ids, kept_choice_ids),
+        grouped_kept_pos=grouped_kept_pos,
+        grouped_token_ids=grouped_token_ids,
+        grouped_expert_ids=top_idx[grouped_token_ids, grouped_choice_ids],
+        grouped_weight_index=(grouped_token_ids, grouped_choice_ids),
+        segment_counts=np.minimum(counts, capacity),
+    )
+
+
+def plan_from_indices(
+    expert_indices: np.ndarray,
+    slot_indices: np.ndarray,
+    token_indices: Optional[np.ndarray],
+    num_experts: int,
+    num_tokens: int,
+    capacity: int,
+) -> RoutingPlan:
+    """Build a plan from arbitrary sparse index arrays (either layout).
+
+    The generic fallback for routings that did not come out of
+    :func:`route_fused` — flat expert-choice indices, or token-major
+    routings whose slots are no longer an FCFS prefix (dead-expert
+    degradation punches holes).  One stable argsort over the *kept*
+    expert ids, same outputs as the legacy
+    ``_kept_assignments`` + ``dispatch_grouped`` chain.
+    """
+    expert_indices = np.asarray(expert_indices)
+    slot_indices = np.asarray(slot_indices)
+    if expert_indices.shape != slot_indices.shape:
+        raise ValueError(
+            f"expert_indices {expert_indices.shape} and slot_indices "
+            f"{slot_indices.shape} must have the same shape"
+        )
+    counts_all = np.bincount(
+        expert_indices.reshape(-1), minlength=num_experts
+    ).astype(np.int64)
+    if counts_all.shape[0] != num_experts:
+        raise ValueError(
+            f"expert index {int(expert_indices.max())} out of range for "
+            f"{num_experts} experts"
+        )
+    if expert_indices.ndim == 2:
+        layout, top_k = "topk", expert_indices.shape[1]
+        kept = slot_indices >= 0
+        kept_token_ids, kept_choice_ids = np.nonzero(kept)
+        kept_expert_ids = expert_indices[kept_token_ids, kept_choice_ids]
+        kept_slot_ids = slot_indices[kept_token_ids, kept_choice_ids]
+        kept_weight_index = (kept_token_ids, kept_choice_ids)
+    elif expert_indices.ndim == 1:
+        layout, top_k = "flat", None
+        if token_indices is None:
+            raise ValueError(
+                "flat (N,) routing indices require token_indices"
+            )
+        token_indices = np.asarray(token_indices)
+        (pos,) = np.nonzero(slot_indices >= 0)
+        kept_token_ids = token_indices[pos]
+        kept_expert_ids = expert_indices[pos]
+        kept_slot_ids = slot_indices[pos]
+        kept_weight_index = (pos,)
+    else:
+        raise ValueError(
+            f"routing indices must be (T, k) or flat (N,), got "
+            f"{expert_indices.shape}"
+        )
+    order = np.argsort(kept_expert_ids, kind="stable")
+    segment_counts = np.bincount(
+        kept_expert_ids, minlength=num_experts
+    ).astype(np.int64)
+    return RoutingPlan(
+        layout=layout,
+        num_tokens=num_tokens,
+        num_experts=num_experts,
+        capacity=capacity,
+        top_k=top_k,
+        counts=counts_all,
+        choice_counts=None,
+        slot_indices=slot_indices,
+        dropped_assignments=int(slot_indices.size - kept_token_ids.shape[0]),
+        kept_token_ids=kept_token_ids,
+        kept_expert_ids=kept_expert_ids,
+        kept_slot_ids=kept_slot_ids,
+        kept_weight_index=kept_weight_index,
+        grouped_kept_pos=order,
+        grouped_token_ids=kept_token_ids[order],
+        grouped_expert_ids=kept_expert_ids[order],
+        grouped_weight_index=tuple(
+            np.asarray(ix)[order] for ix in kept_weight_index
+        ),
+        segment_counts=segment_counts,
+    )
+
+
+def plan_for_expert_choice(
+    token_indices: np.ndarray,
+    expert_indices: np.ndarray,
+    slot_indices: np.ndarray,
+    num_experts: int,
+    num_tokens: int,
+    capacity: int,
+) -> RoutingPlan:
+    """Identity-order plan for the expert-choice gate's flat layout.
+
+    The EC gate emits ``expert_indices = repeat(arange(E), C)`` — the
+    flat arrays are *structurally* expert-major sorted with no drops,
+    so the grouped permutation is the identity and no sort of any kind
+    is needed.  Equal to :func:`plan_from_indices` on the same arrays
+    (a stable sort of an already-sorted key is the identity).
+    """
+    n = token_indices.shape[0]
+    pos = np.arange(n, dtype=np.int64)
+    counts = np.bincount(
+        expert_indices, minlength=num_experts
+    ).astype(np.int64)
+    return RoutingPlan(
+        layout="flat",
+        num_tokens=num_tokens,
+        num_experts=num_experts,
+        capacity=capacity,
+        top_k=None,
+        counts=counts,
+        choice_counts=None,
+        slot_indices=slot_indices,
+        dropped_assignments=0,
+        kept_token_ids=token_indices,
+        kept_expert_ids=expert_indices,
+        kept_slot_ids=slot_indices,
+        kept_weight_index=(pos,),
+        grouped_kept_pos=pos,
+        grouped_token_ids=token_indices,
+        grouped_expert_ids=expert_indices,
+        grouped_weight_index=(pos,),
+        segment_counts=counts,
+    )

@@ -14,6 +14,7 @@ tensors with ``requires_grad=True``.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -525,6 +526,37 @@ def bmm(a: Tensor, b: Tensor) -> Tensor:
 #: (measured on the bench shapes; 2-d BLAS on a contiguous slice wins).
 _BUCKET_ROW_ELEMS = 4096
 
+#: Environment variable overriding :data:`_BUCKET_ROW_ELEMS` — the
+#: threshold was measured on a single core, so it can be revisited on
+#: other hardware without a code edit.
+BUCKET_ROW_ELEMS_ENV = "REPRO_BUCKET_ROW_ELEMS"
+
+
+def bucket_row_elems() -> int:
+    """The bucketing threshold: ``REPRO_BUCKET_ROW_ELEMS`` or the default.
+
+    Read per :func:`segment_matmul` call so a change takes effect
+    immediately.  An unparseable or negative override raises instead
+    of silently falling back — a typo'd knob must not quietly move
+    every segment on or off the bucket path (``0`` is valid and
+    disables bucketing; a huge value buckets everything).
+    """
+    env = os.environ.get(BUCKET_ROW_ELEMS_ENV)
+    if env is None:
+        return _BUCKET_ROW_ELEMS
+    try:
+        value = int(env)
+    except ValueError:
+        raise ValueError(
+            f"{BUCKET_ROW_ELEMS_ENV} must be an integer element "
+            f"count, got {env!r}"
+        ) from None
+    if value < 0:
+        raise ValueError(
+            f"{BUCKET_ROW_ELEMS_ENV} must be >= 0, got {value}"
+        )
+    return value
+
 
 def segment_matmul(
     x: Tensor,
@@ -571,10 +603,12 @@ def segment_matmul(
     keeps selectable as the parity reference.  Bucketing only pays
     when the per-call dispatch overhead it removes exceeds the row
     gather it adds, i.e. for segments whose LHS block is small —
-    segments above ``_BUCKET_ROW_ELEMS`` elements (and singleton
-    buckets, which have nothing to batch) stay on the plain
-    per-segment GEMM, where 2-d BLAS on a contiguous slice is already
-    optimal.
+    segments above the :func:`bucket_row_elems` threshold
+    (``_BUCKET_ROW_ELEMS``, overridable via the
+    ``REPRO_BUCKET_ROW_ELEMS`` environment variable; see
+    :func:`bucket_row_elems`) and singleton buckets, which have
+    nothing to batch, stay on the plain per-segment GEMM, where 2-d
+    BLAS on a contiguous slice is already optimal.
     """
     x = Tensor._lift(x)
     weight = Tensor._lift(weight)
@@ -610,12 +644,13 @@ def segment_matmul(
     batched = []
     singles = occupied
     if bucketed and occupied.size:
+        threshold = bucket_row_elems()
         by_size = {}
         for e in occupied:
             by_size.setdefault(int(counts[e]), []).append(int(e))
         singles = []
         for length, experts in sorted(by_size.items()):
-            if len(experts) == 1 or length * x.shape[1] > _BUCKET_ROW_ELEMS:
+            if len(experts) == 1 or length * x.shape[1] > threshold:
                 singles.extend(experts)
                 continue
             experts = np.asarray(experts)

@@ -2,10 +2,16 @@
 
 The batched execution path (two ``bmm`` over stacked parameters, with
 the occupancy shortcut) must be indistinguishable from the per-expert
-loop reference: *bit-exact* forward outputs and gradients matching to
-1e-6 (the occupancy shortcut re-associates a few reductions, so the
-last bits of parameter gradients may legitimately differ).  Also
-covers the per-expert <-> stacked checkpoint layout conversion.
+loop reference *at every occupied slot*: bit-exact forward outputs
+and gradients matching to 1e-6 (the occupancy shortcut re-associates
+a few reductions, so the last bits of parameter gradients may
+legitimately differ).  Padding slots are zero-filled by the batched
+path — the loop reference runs the FFN on the zero rows and produces
+``fc2(act(b1))`` there instead — but every combine carries a zero
+weight at unoccupied slots, so parity is asserted on the occupied
+prefix plus zero padding (and end-to-end through the layer, where the
+impls agree everywhere).  Also covers the per-expert <-> stacked
+checkpoint layout conversion.
 """
 
 import numpy as np
@@ -52,15 +58,27 @@ CASES = [
 ]
 
 
+def occupied_mask(E, C, fill):
+    """(E, C) bool mask of the occupied slot prefix."""
+    return np.arange(C)[None, :] < np.asarray(fill)[:, None]
+
+
 @pytest.mark.parametrize("E,C,M,H,fill", CASES)
 def test_forward_bitwise_parity(rng, E, C, M, H, fill):
     loop, batched = make_pair(E, M, H)
     x, load = make_dispatched(rng, E, C, M, fill)
     ref = loop(Tensor(x))
-    # Occupancy-aware, full-GEMM, and loop paths all agree bitwise.
+    occ = occupied_mask(E, C, fill)
+    # Occupancy-aware path: bitwise at occupied slots, zeros in the
+    # padding (the loop runs the FFN on the zero rows instead; no
+    # combine ever reads those slots).
+    out = batched(Tensor(x), expert_load=load).data
+    np.testing.assert_array_equal(out[occ], ref.data[occ])
     np.testing.assert_array_equal(
-        batched(Tensor(x), expert_load=load).data, ref.data
+        out[~occ], np.zeros_like(out[~occ])
     )
+    # Without occupancy info every slot runs the GEMMs: bitwise
+    # everywhere, padding included.
     np.testing.assert_array_equal(batched(Tensor(x)).data, ref.data)
 
 
@@ -68,18 +86,20 @@ def test_forward_bitwise_parity(rng, E, C, M, H, fill):
 def test_gradient_parity(rng, E, C, M, H, fill):
     loop, batched = make_pair(E, M, H)
     x, load = make_dispatched(rng, E, C, M, fill)
-    occupied = np.zeros((E, C), dtype=bool)
-    for e, f in enumerate(fill):
-        occupied[e, :f] = True
+    occupied = occupied_mask(E, C, fill)
+    # Loss over the occupied slots only — what any combine reads.
+    # (An unmasked loss would feed the loop's padding-slot responses
+    # into its parameter gradients, a contribution no real consumer
+    # ever creates and the zero-padded batched path never computes.)
+    mask = Tensor(occupied[:, :, None].astype(np.float32))
 
     x_loop = Tensor(x, requires_grad=True)
-    (loop(x_loop) ** 2).sum().backward()
+    ((loop(x_loop) * mask) ** 2).sum().backward()
     x_bat = Tensor(x.copy(), requires_grad=True)
-    (batched(x_bat, expert_load=load) ** 2).sum().backward()
+    ((batched(x_bat, expert_load=load) * mask) ** 2).sum().backward()
 
-    # Input gradients at occupied slots (padding slots differ by
-    # design: the loop runs the FFN on the zero rows, the batched path
-    # never touches them — dispatch/combine drop those slots anyway).
+    # Input gradients at occupied slots (padding rows get zero
+    # gradient under the masked loss in both impls).
     np.testing.assert_allclose(
         x_bat.grad[occupied], x_loop.grad[occupied], atol=1e-6
     )

@@ -1,0 +1,257 @@
+"""Property suite for the fused single-sort routing kernel.
+
+:func:`~repro.moe.routing.route_fused` must be *bit-identical* to two
+independently-derived references on every field:
+
+* a hand-rolled greedy slot-assignment loop (choice-major FCFS — all
+  first choices in token order, then all second choices — each
+  assignment taking its expert's next free slot or dropping at
+  capacity), for the slot array;
+* the legacy chain (``assign_capacity_slots`` + the ``np.nonzero``
+  kept scan + stable ``argsort`` by expert + ``bincount``) for the
+  kept coordinates, the grouped permutation and the segment counts.
+
+The grid crosses token counts (empty batch, single token, 513 to
+straddle chunking shapes, 4096 = the bench headline), top-k, expert
+counts, and capacity regimes (0 = all dropped, 1 = maximal drop
+pressure, tight, loose = no drops), plus adversarial layouts a real
+gate never emits: duplicate experts within one token's choices and
+expert-choice-style duplicate token selections.  The generic and
+identity plan builders are pinned to the same chain.
+"""
+
+import numpy as np
+import pytest
+
+from repro.moe import MoELayer, RoutingPlan, route_fused
+from repro.moe.gating import TopKGate, assign_capacity_slots
+from repro.moe.routing import plan_for_expert_choice, plan_from_indices
+from repro.nn import Tensor
+
+
+def greedy_reference_slots(top_idx, num_experts, capacity):
+    """The original O(T * k) greedy loop: GShard's FCFS rule."""
+    num_tokens, top_k = top_idx.shape
+    positions = np.full((num_tokens, top_k), -1, dtype=np.int64)
+    fill = np.zeros(num_experts, dtype=np.int64)
+    for choice in range(top_k):
+        for token in range(num_tokens):
+            expert = top_idx[token, choice]
+            if fill[expert] < capacity:
+                positions[token, choice] = fill[expert]
+                fill[expert] += 1
+    return positions
+
+
+def legacy_chain(top_idx, slots, num_experts):
+    """nonzero scan + stable argsort + bincount — the retired chain."""
+    kept = slots >= 0
+    tok, choice = np.nonzero(kept)
+    e_ids = top_idx[tok, choice]
+    order = np.argsort(e_ids, kind="stable")
+    return dict(
+        kept_token_ids=tok,
+        kept_choice_ids=choice,
+        kept_expert_ids=e_ids,
+        kept_slot_ids=slots[tok, choice],
+        grouped_kept_pos=order,
+        grouped_token_ids=tok[order],
+        grouped_expert_ids=e_ids[order],
+        grouped_choice_ids=choice[order],
+        segment_counts=np.bincount(e_ids, minlength=num_experts).astype(
+            np.int64
+        ),
+    )
+
+
+def assert_plan_matches_references(plan, top_idx, num_experts, capacity):
+    T, k = top_idx.shape
+    ref_slots = greedy_reference_slots(top_idx, num_experts, capacity)
+    np.testing.assert_array_equal(plan.slot_indices, ref_slots)
+    np.testing.assert_array_equal(
+        plan.slot_indices,
+        assign_capacity_slots(top_idx, num_experts, capacity),
+    )
+    chain = legacy_chain(top_idx, ref_slots, num_experts)
+    np.testing.assert_array_equal(plan.kept_token_ids, chain["kept_token_ids"])
+    np.testing.assert_array_equal(
+        plan.kept_expert_ids, chain["kept_expert_ids"]
+    )
+    np.testing.assert_array_equal(plan.kept_slot_ids, chain["kept_slot_ids"])
+    np.testing.assert_array_equal(
+        plan.kept_weight_index[0], chain["kept_token_ids"]
+    )
+    np.testing.assert_array_equal(
+        plan.kept_weight_index[1], chain["kept_choice_ids"]
+    )
+    np.testing.assert_array_equal(
+        plan.grouped_kept_pos, chain["grouped_kept_pos"]
+    )
+    np.testing.assert_array_equal(
+        plan.grouped_token_ids, chain["grouped_token_ids"]
+    )
+    np.testing.assert_array_equal(
+        plan.grouped_expert_ids, chain["grouped_expert_ids"]
+    )
+    np.testing.assert_array_equal(
+        plan.grouped_weight_index[0], chain["grouped_token_ids"]
+    )
+    np.testing.assert_array_equal(
+        plan.grouped_weight_index[1], chain["grouped_choice_ids"]
+    )
+    np.testing.assert_array_equal(
+        plan.segment_counts, chain["segment_counts"]
+    )
+    np.testing.assert_array_equal(plan.expert_load, plan.segment_counts)
+    # Bookkeeping scalars and the fused per-(expert, choice) counts.
+    assert plan.dropped_assignments == int((ref_slots < 0).sum())
+    assert plan.num_kept == chain["grouped_token_ids"].shape[0]
+    np.testing.assert_array_equal(
+        plan.counts,
+        np.bincount(top_idx.reshape(-1), minlength=num_experts),
+    )
+    for c in range(k):
+        np.testing.assert_array_equal(
+            plan.choice_counts[:, c],
+            np.bincount(top_idx[:, c], minlength=num_experts)
+            if T
+            else np.zeros(num_experts, dtype=np.int64),
+        )
+    # The generic builder reproduces the fused result from the arrays.
+    generic = plan_from_indices(
+        top_idx, ref_slots, None, num_experts, T, capacity
+    )
+    for field in (
+        "kept_token_ids", "kept_expert_ids", "kept_slot_ids",
+        "grouped_kept_pos", "grouped_token_ids", "grouped_expert_ids",
+        "segment_counts",
+    ):
+        np.testing.assert_array_equal(
+            getattr(generic, field), getattr(plan, field), err_msg=field
+        )
+    assert generic.dropped_assignments == plan.dropped_assignments
+
+
+@pytest.mark.parametrize("num_tokens", [0, 1, 513, 4096])
+@pytest.mark.parametrize("top_k", [1, 2, 4])
+@pytest.mark.parametrize("num_experts", [1, 8, 32])
+def test_fused_matches_greedy_reference(rng, num_tokens, top_k, num_experts):
+    if top_k > num_experts:
+        pytest.skip("top_k > num_experts")
+    # Distinct experts per token, like a real top-k gate emits.
+    top_idx = np.argsort(
+        rng.random((num_tokens, num_experts)), axis=1
+    )[:, :top_k]
+    tight = max((num_tokens * top_k) // (2 * num_experts), 1)
+    for capacity in (0, 1, tight, num_tokens + 1):
+        plan = route_fused(top_idx, num_experts, capacity)
+        assert_plan_matches_references(plan, top_idx, num_experts, capacity)
+
+
+def test_duplicate_experts_within_a_token(rng):
+    """Rows may repeat an expert (no real gate does; the kernel must
+    still match the greedy rule, which fills both assignments)."""
+    for _ in range(5):
+        top_idx = rng.integers(0, 4, size=(37, 3))
+        for capacity in (0, 1, 5, 200):
+            plan = route_fused(top_idx, 4, capacity)
+            assert_plan_matches_references(plan, top_idx, 4, capacity)
+
+
+def test_all_dropped(rng):
+    top_idx = np.argsort(rng.random((19, 8)), axis=1)[:, :2]
+    plan = route_fused(top_idx, 8, 0)
+    assert plan.num_kept == 0
+    assert plan.dropped_assignments == 38
+    np.testing.assert_array_equal(plan.slot_indices, -1)
+    np.testing.assert_array_equal(plan.segment_counts, np.zeros(8, np.int64))
+    # But the pre-capacity counts survive (the aux loss reads them).
+    assert int(plan.counts.sum()) == 38
+    assert int(plan.choice_counts.sum()) == 38
+
+
+def test_gate_attaches_the_plan(rng):
+    """TopKGate caches the fused plan; its fields are the gate's."""
+    gate = TopKGate(8, 4, np.random.default_rng(0), top_k=2,
+                    capacity_factor=0.75)
+    out = gate(Tensor(rng.standard_normal((33, 8)).astype(np.float32)))
+    assert isinstance(out._plan, RoutingPlan)
+    plan = out.plan
+    np.testing.assert_array_equal(plan.slot_indices, out.slot_indices)
+    np.testing.assert_array_equal(plan.expert_load, out.expert_load)
+    assert plan.dropped_assignments == out.dropped_tokens
+    assert_plan_matches_references(
+        plan, out.expert_indices, 4, out.capacity
+    )
+
+
+def test_dropped_expert_plan_rebuilds_generically(rng):
+    """with_experts_dropped punches non-FCFS slot holes; its plan must
+    come from the actual arrays, not the fused kernel."""
+    gate = TopKGate(8, 4, np.random.default_rng(0), top_k=2,
+                    capacity_factor=2.0)
+    out = gate(Tensor(rng.standard_normal((25, 8)).astype(np.float32)))
+    degraded = out.with_experts_dropped({1})
+    assert degraded._plan is None  # lazily rebuilt, not inherited
+    plan = degraded.plan
+    chain = legacy_chain(
+        np.asarray(degraded.expert_indices),
+        np.asarray(degraded.slot_indices),
+        4,
+    )
+    np.testing.assert_array_equal(
+        plan.grouped_token_ids, chain["grouped_token_ids"]
+    )
+    np.testing.assert_array_equal(
+        plan.segment_counts, chain["segment_counts"]
+    )
+    assert plan.segment_counts[1] == 0
+    np.testing.assert_array_equal(plan.segment_counts, degraded.expert_load)
+
+
+def test_expert_choice_identity_plan(rng):
+    """EC's flat layout is structurally expert-major: identity order,
+    and the identity builder equals the generic one."""
+    layer = MoELayer(
+        8, 16, 4, np.random.default_rng(0), gate_type="expert-choice",
+        capacity_factor=2.0,
+    )
+    layer(Tensor(rng.standard_normal((16, 8)).astype(np.float32)))
+    out = layer.last_gate_output
+    plan = out.plan
+    assert plan.layout == "flat"
+    n = out.expert_indices.shape[0]
+    np.testing.assert_array_equal(plan.grouped_kept_pos, np.arange(n))
+    np.testing.assert_array_equal(plan.grouped_token_ids, out.token_indices)
+    generic = plan_from_indices(
+        out.expert_indices, out.slot_indices, out.token_indices,
+        4, out.num_tokens, out.capacity,
+    )
+    for field in (
+        "kept_token_ids", "kept_expert_ids", "kept_slot_ids",
+        "grouped_kept_pos", "grouped_token_ids", "grouped_expert_ids",
+        "segment_counts",
+    ):
+        np.testing.assert_array_equal(
+            getattr(generic, field), getattr(plan, field), err_msg=field
+        )
+    # Identity builder wired through the gate, including the empty case.
+    empty = plan_for_expert_choice(
+        np.zeros(0, np.int64), np.zeros(0, np.int64), np.zeros(0, np.int64),
+        4, 0, 0,
+    )
+    assert empty.num_kept == 0
+    np.testing.assert_array_equal(
+        empty.segment_counts, np.zeros(4, np.int64)
+    )
+
+
+def test_route_fused_validation():
+    with pytest.raises(ValueError, match="tokens, k"):
+        route_fused(np.zeros(3, dtype=np.int64), 4, 2)
+    with pytest.raises(ValueError, match="num_experts"):
+        route_fused(np.zeros((2, 2), dtype=np.int64), 0, 2)
+    with pytest.raises(ValueError, match="capacity"):
+        route_fused(np.zeros((2, 2), dtype=np.int64), 4, -1)
+    with pytest.raises(ValueError, match="out of range"):
+        route_fused(np.full((2, 2), 7, dtype=np.int64), 4, 2)

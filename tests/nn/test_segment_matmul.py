@@ -115,6 +115,54 @@ def test_bucketed_matches_unbucketed(rng, counts):
         np.testing.assert_array_equal(a, b)
 
 
+# -- REPRO_BUCKET_ROW_ELEMS override -----------------------------------------
+
+
+def _bucket_case(rng):
+    """Counts with a bucketable pair whose LHS block is 5*6=30 elems."""
+    counts = np.asarray([5, 5, 2, 2])
+    x = rng.standard_normal((int(counts.sum()), 6)).astype(np.float32)
+    w = rng.standard_normal((len(counts), 6, 5)).astype(np.float32)
+    return counts, x, w
+
+
+def test_bucket_threshold_default(monkeypatch):
+    from repro.nn.tensor import (
+        _BUCKET_ROW_ELEMS,
+        BUCKET_ROW_ELEMS_ENV,
+        bucket_row_elems,
+    )
+
+    monkeypatch.delenv(BUCKET_ROW_ELEMS_ENV, raising=False)
+    assert bucket_row_elems() == _BUCKET_ROW_ELEMS == 4096
+
+
+def test_bucket_threshold_env_override(rng, monkeypatch):
+    """Valid overrides change the bucketing decision, never the values."""
+    from repro.nn.tensor import BUCKET_ROW_ELEMS_ENV, bucket_row_elems
+
+    counts, x, w = _bucket_case(rng)
+    ref = segment_matmul(Tensor(x), Tensor(w), counts, bucketed=False).data
+    # 0 disables bucketing entirely; a huge value buckets every size
+    # class.  Either way results are bit-identical to the plain loop.
+    for override in ("0", "1000000"):
+        monkeypatch.setenv(BUCKET_ROW_ELEMS_ENV, override)
+        assert bucket_row_elems() == int(override)
+        out = segment_matmul(Tensor(x), Tensor(w), counts).data
+        np.testing.assert_array_equal(out, ref)
+
+
+@pytest.mark.parametrize("bad", ["banana", "4k", "", "3.5", "-1"])
+def test_bucket_threshold_rejects_bad_values(rng, monkeypatch, bad):
+    """A typo'd knob raises loudly instead of silently falling back."""
+    from repro.nn.tensor import BUCKET_ROW_ELEMS_ENV
+
+    counts, x, w = _bucket_case(rng)
+    monkeypatch.setenv(BUCKET_ROW_ELEMS_ENV, bad)
+    with pytest.raises(ValueError, match=BUCKET_ROW_ELEMS_ENV):
+        segment_matmul(Tensor(x), Tensor(w), counts)
+
+
 def test_empty_input(rng):
     w = Tensor(rng.standard_normal((2, 3, 4)).astype(np.float32))
     out = segment_matmul(
