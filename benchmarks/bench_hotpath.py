@@ -875,10 +875,22 @@ def render(report: dict) -> str:
 def write_report(report: dict) -> None:
     emit("hotpath", render(report), data=report)
     # The root artifact tracks the acceptance configuration only — a
-    # --tiny smoke run must not clobber the recorded full numbers.
+    # --tiny smoke run must not clobber the recorded full numbers, and
+    # a hot-path rerun must not drop the `inference` section that
+    # bench_inference.py merges into the same file.
     if report["mode"] == "full":
+        merged = dict(report)
+        if ROOT_JSON.exists():
+            try:
+                prior = json.loads(
+                    ROOT_JSON.read_text(encoding="utf-8")
+                )
+            except json.JSONDecodeError:
+                prior = {}
+            if "inference" in prior:
+                merged["inference"] = prior["inference"]
         ROOT_JSON.write_text(
-            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            json.dumps(merged, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
 

@@ -12,6 +12,7 @@ Usage::
     python -m repro faults --slowdown 2.0 --scheduler optsche
     python -m repro faults --plan plan.json --write-demo plan.json
     python -m repro pipeline --num-chunks 4 --workers 4
+    python -m repro infer --tokens 4096 --experts 32
     python -m repro trace --out /tmp/schedule.json
 
 Each experiment prints the paper-formatted table the corresponding
@@ -43,7 +44,7 @@ def _runner(args) -> SystemRunner:
 def cmd_list(_args) -> int:
     """List experiments, policies, models and cluster presets."""
     print("experiments: table1 table7 table8 table10 fig9 a2a faults "
-          "step plan pipeline trace")
+          "step plan pipeline infer trace")
     print("policies:   ", ", ".join(sorted(ALL_POLICIES)))
     print("models:     ", ", ".join(sorted(PAPER_MODELS)))
     from .cluster.presets import PRESETS
@@ -353,6 +354,74 @@ def cmd_pipeline(args) -> int:
     return 0 if exact else 1
 
 
+def cmd_infer(args) -> int:
+    """Autograd-free inference forward vs the training-tape forward.
+
+    Builds one MoE layer, runs the same batch through the regular
+    (tape-building) ``eval()`` forward and through
+    ``forward_inference`` — the process-wide ``inference_mode()`` plus
+    an arena of pooled scratch buffers — verifies the outputs are
+    bit-identical, and reports forward tokens/sec for both paths plus
+    the arena's buffer-pool reuse counters.  A steady-state inference
+    loop should show zero new pool misses after its first step.
+    """
+    import time
+
+    import numpy as np
+
+    from .moe import MoELayer
+
+    layer = MoELayer(
+        model_dim=args.model_dim,
+        hidden_dim=args.hidden_dim,
+        num_experts=args.experts,
+        rng=np.random.default_rng(0),
+        top_k=2,
+        capacity_factor=2.0,
+        expert_impl="grouped",
+    ).eval()
+    from .nn.tensor import Tensor
+
+    rng = np.random.default_rng(1)
+    tokens = rng.standard_normal(
+        (args.tokens, args.model_dim)
+    ).astype(np.float32)
+    x = Tensor(tokens)
+
+    baseline = layer(x).data.copy()  # training-tape forward, eval mode
+
+    def best_of(fn):
+        best = float("inf")
+        for _ in range(args.repeats):
+            t0 = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    train_s = best_of(lambda: layer(x))
+    inferred = layer.forward_inference(x).data
+    exact = bool(np.array_equal(baseline, inferred))
+    misses_after_warmup = layer._inference_arena.pool.misses
+    infer_s = best_of(lambda: layer.forward_inference(x))
+    stats = layer._inference_arena.stats()
+
+    print(
+        f"inference fast path: E={args.experts} M={args.model_dim} "
+        f"H={args.hidden_dim} T={args.tokens} k=2"
+    )
+    print(f"  training-tape forward: {train_s * 1e3:8.2f} ms "
+          f"({args.tokens / train_s:,.0f} tok/s)")
+    print(f"  inference forward:     {infer_s * 1e3:8.2f} ms "
+          f"({args.tokens / infer_s:,.0f} tok/s, "
+          f"{train_s / infer_s:.2f}x)")
+    print(f"  outputs bit-identical: {exact}")
+    print(f"  arena pool: hits={stats['hits']} misses={stats['misses']} "
+          f"bytes_allocated={stats['bytes_allocated']:,}")
+    steady = stats["misses"] == misses_after_warmup
+    print(f"  steady-state reuse (no new misses after warmup): {steady}")
+    return 0 if exact and steady else 1
+
+
 def cmd_trace(args) -> int:
     """Export a ScheMoE layer's forward schedule as a chrome trace."""
     import numpy as np
@@ -505,6 +574,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_pipe.add_argument("--repeats", type=int, default=3)
 
+    p_infer = sub.add_parser(
+        "infer",
+        help="autograd-free inference forward vs training-tape forward",
+    )
+    p_infer.add_argument("--experts", type=int, default=32)
+    p_infer.add_argument("--tokens", type=int, default=4096)
+    p_infer.add_argument("--model-dim", type=int, default=256)
+    p_infer.add_argument("--hidden-dim", type=int, default=256)
+    p_infer.add_argument("--repeats", type=int, default=3)
+
     p_trace = sub.add_parser("trace", help="export a chrome trace")
     p_trace.add_argument("--out", default="schedule_trace.json")
     p_trace.add_argument("--model-dim", type=int, default=1024)
@@ -530,6 +609,7 @@ COMMANDS = {
     "step": cmd_step,
     "plan": cmd_plan,
     "pipeline": cmd_pipeline,
+    "infer": cmd_infer,
     "trace": cmd_trace,
 }
 

@@ -37,7 +37,7 @@ import numpy as np
 
 from ..nn import functional as F
 from ..nn.modules import Linear, Module
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, is_inference
 from .routing import RoutingPlan, plan_from_indices, route_fused
 
 
@@ -264,6 +264,13 @@ class GateOutput:
     def dispatch_mask(self) -> np.ndarray:
         """Raw (T, E, C) 0/1 routing mask (densified on demand)."""
         if self._dispatch_mask is None:
+            if is_inference():
+                raise RuntimeError(
+                    "refusing to densify dispatch_mask under "
+                    "inference_mode(): the (T, E, C) masks exist only "
+                    "for the dense reference backend; the forward-only "
+                    "path must stay on the sparse RoutingPlan"
+                )
             token_ids, expert_ids, slot_ids, _ = self._kept_coords()
             mask = np.zeros(
                 (self._num_tokens, self._num_experts, self.capacity),
@@ -283,6 +290,13 @@ class GateOutput:
         formulation propagates it.
         """
         if self._combine_weights is None:
+            if is_inference():
+                raise RuntimeError(
+                    "refusing to densify combine_weights under "
+                    "inference_mode(): the (T, E, C) masks exist only "
+                    "for the dense reference backend; the forward-only "
+                    "path must stay on the sparse RoutingPlan"
+                )
             norm = self.gate_weights
             token_ids, expert_ids, slot_ids, w_idx = self._kept_coords()
             shape = (self._num_tokens, self._num_experts, self.capacity)
@@ -421,13 +435,19 @@ class TopKGate(Module):
         norm = gathered * Tensor(kept_f) / denom  # (T, k), 0 at dropped
 
         # First-choice counts fall out of the plan's fused per-
-        # (expert, choice) counts — no separate bincount pass.
-        aux = load_balancing_loss(
-            probs,
-            None,
-            self.num_experts,
-            first_choice_counts=plan.choice_counts[:, 0],
-        )
+        # (expert, choice) counts — no separate bincount pass.  The
+        # auxiliary loss only exists to regularize training; the
+        # forward-only path skips it outright (gradient bookkeeping
+        # for a loss nobody will backprop).
+        if is_inference():
+            aux = Tensor(np.float32(0.0))
+        else:
+            aux = load_balancing_loss(
+                probs,
+                None,
+                self.num_experts,
+                first_choice_counts=plan.choice_counts[:, 0],
+            )
         return GateOutput(
             aux_loss=aux,
             expert_load=fill,

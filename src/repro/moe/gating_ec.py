@@ -27,7 +27,7 @@ import numpy as np
 
 from ..nn import functional as F
 from ..nn.modules import Linear, Module
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, is_inference
 from .gating import GateOutput
 from .routing import plan_for_expert_choice
 
@@ -89,8 +89,12 @@ class ExpertChoiceGate(Module):
         logits = self.wg(tokens)
         probs = F.softmax(logits, axis=-1)  # (T, E)
         # Perfectly balanced by construction -> aux loss constant 1
-        # (wired to the gate's tape so an empty backward still works).
-        aux = Tensor(np.float32(1.0)) + (probs.sum() * 0.0)
+        # (wired to the gate's tape so an empty backward still works;
+        # the forward-only path skips the tape-keeping sum).
+        if is_inference():
+            aux = Tensor(np.float32(1.0))
+        else:
+            aux = Tensor(np.float32(1.0)) + (probs.sum() * 0.0)
 
         if cap == 0:
             # Zero tokens (or zero slots): empty flat routing.

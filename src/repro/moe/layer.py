@@ -27,7 +27,7 @@ import numpy as np
 
 from ..compression.base import Compressor
 from ..nn.modules import Module
-from ..nn.tensor import Tensor
+from ..nn.tensor import Tensor, is_inference
 from .dispatch import (
     DISPATCH_MODES,
     GroupedRouting,
@@ -285,7 +285,12 @@ class MoELayer(Module):
                     token_indices=gate_out.token_indices,
                     plan=gate_out.plan,
                 )
-                self.last_dispatched = rows.data
+                # Forward-only steps don't keep the wire payload
+                # around for fidelity studies — and must not pin an
+                # arena buffer past the next reset.
+                self.last_dispatched = (
+                    None if is_inference() else rows.data
+                )
                 rows = self._transport(rows)  # first A2A
                 expert_rows = self.experts.run_grouped(
                     rows, routing.segment_counts
@@ -314,7 +319,7 @@ class MoELayer(Module):
             )
         else:
             dispatched = dispatch(tokens, gate_out.dispatch_mask)
-        self.last_dispatched = dispatched.data
+        self.last_dispatched = None if is_inference() else dispatched.data
         dispatched = self._transport(dispatched)  # first A2A
         expert_out = self.experts(dispatched, expert_load=gate_out.expert_load)
         expert_out = self._transport(expert_out)  # second A2A
@@ -415,6 +420,8 @@ class MoELayer(Module):
         merged: list = [None] * r
         dispatched: list = [None] * r
 
+        record_dispatched = not is_inference()
+
         def c1(c):
             (m,) = np.nonzero(chunk_of == c)
             local_tok = plan.grouped_token_ids[m] - chunks[c]["lo"]
@@ -435,7 +442,8 @@ class MoELayer(Module):
                 weight_index=weight_index,
             )
             rows[c] = gather(chunks[c]["tokens"], local_tok)
-            dispatched[c] = rows[c].data
+            if record_dispatched:
+                dispatched[c] = rows[c].data
 
         def a1(c):
             rows[c] = self._transport(rows[c])  # first A2A
@@ -481,6 +489,29 @@ class MoELayer(Module):
             run_inline(r, fns)
 
         # Chunk-major rather than globally expert-sorted, but still
-        # exactly the rows the (chunked) first A2A shipped.
-        self.last_dispatched = np.concatenate(dispatched, axis=0)
+        # exactly the rows the (chunked) first A2A shipped.  The
+        # forward-only path skips the alloc-and-copy entirely.
+        self.last_dispatched = (
+            np.concatenate(dispatched, axis=0) if record_dispatched else None
+        )
         return concatenate(merged, axis=0)
+
+    def forward_inference(self, x: Tensor) -> Tensor:
+        """Forward-only hot path (see :meth:`Module.forward_inference`).
+
+        Runs the *same* :meth:`forward` code under ``inference_mode()``
+        with the layer's arena installed, so outputs are bit-identical
+        to an ``eval()`` training-tape forward while skipping tape
+        construction, dense-mask densification, aux-loss bookkeeping
+        and ``last_dispatched`` recording.  Requires the sparse
+        dispatch backend: the dense reference path exists to check
+        gradients and would densify (T, E, C) masks on a path that
+        must never materialize them.
+        """
+        if self.dispatch_mode != "sparse":
+            raise RuntimeError(
+                "forward_inference requires dispatch_mode='sparse'; "
+                f"this layer uses {self.dispatch_mode!r} (the dense "
+                "einsum backend is a training-time reference path)"
+            )
+        return super().forward_inference(x)

@@ -66,7 +66,13 @@ from ..core.runtime import (
 )
 from ..core.scheduler import Scheduler
 from ..core.tasks import Task, TaskKind
-from ..nn.buffer_pool import BufferPool
+from ..nn.buffer_pool import Arena, BufferPool
+from ..nn.tensor import (
+    inference_mode,
+    scratch_empty,
+    scratch_zeros,
+    use_arena,
+)
 from .experts import Experts
 from .layer import MoELayer
 
@@ -276,6 +282,41 @@ class ExpertParallelGroup:
         """Forward then concatenate outputs in worker order."""
         return np.concatenate(self.forward(shards), axis=0)
 
+    def forward_inference(self, shards: List[np.ndarray]) -> List[np.ndarray]:
+        """Forward-only distributed pass on the arena fast path.
+
+        Runs :meth:`forward` under ``inference_mode()`` with an arena
+        that *shares* the group's A2A staging :class:`BufferPool`, so
+        expert-output rows, per-chunk assembly blocks and the
+        per-worker output buffers all recycle through the same free
+        lists as the staging copies.  Bit-identical to the plain
+        sparse-path :meth:`forward` (with the borrowed layer in
+        ``eval()``).
+
+        The returned per-worker output arrays are arena-owned: they
+        stay valid until the next ``forward_inference`` call resets
+        the arena, after which their storage is recycled — copy
+        anything that must live longer.
+        """
+        if self.layer.dispatch_mode != "sparse":
+            raise RuntimeError(
+                "forward_inference requires dispatch_mode='sparse'; "
+                f"the layer uses {self.layer.dispatch_mode!r}"
+            )
+        arena = getattr(self, "_inference_arena", None)
+        if arena is None:
+            arena = self._inference_arena = Arena(pool=self._pool)
+        was_training = self.layer.training
+        if was_training:
+            self.layer.eval()
+        arena.reset()
+        try:
+            with inference_mode(), use_arena(arena):
+                return self.forward(shards)
+        finally:
+            if was_training:
+                self.layer.train()
+
     # -- chunked task-graph execution (the sparse hot path) ------------------
     def _forward_chunked(
         self, shards: List[np.ndarray], gate_outputs: list
@@ -324,8 +365,11 @@ class ExpertParallelGroup:
                 [np.nonzero(g_chunk == c)[0] for c in range(r)]
             )
 
+        # Under forward_inference these draw from the shared arena —
+        # the steady-state loop reuses the same output/assembly
+        # buffers every step; in training they are plain allocations.
         outputs = [
-            np.zeros((shards[w].shape[0], model_dim), dtype=np.float32)
+            scratch_zeros((shards[w].shape[0], model_dim))
             for w in workers
         ]
         dispatch_traffic = np.zeros((self.num_workers, self.num_workers))
@@ -419,7 +463,9 @@ class ExpertParallelGroup:
                     counts_full[dst * epw + e_local] = sum(
                         int(counts[e_local]) for _, _, counts in entries
                     )
-                rows = np.concatenate(pieces, axis=0)
+                rows = np.concatenate(
+                    pieces, axis=0, out=scratch_empty((pos, model_dim))
+                )
                 back_index = [
                     (entries[i][0], np.concatenate(backs[i]))
                     for i in range(len(entries))
@@ -484,9 +530,7 @@ class ExpertParallelGroup:
                 sel = members[w][c]
                 if sel.size == 0:
                     continue
-                contrib = np.zeros(
-                    (sel.size, model_dim), dtype=np.float32
-                )
+                contrib = scratch_zeros((sel.size, model_dim))
                 for dst, buf in returned.pop((c, w), []):
                     contrib[return_map.pop((c, w, dst))] = buf
                     pool.release(buf)

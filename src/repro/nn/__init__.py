@@ -8,7 +8,7 @@ on this substrate for real.
 """
 
 from . import functional
-from .buffer_pool import BufferPool
+from .buffer_pool import Arena, BufferPool
 from .init import kaiming_normal, normal, xavier_uniform
 from .modules import (
     Dropout,
@@ -31,18 +31,25 @@ from .serialization import (
 )
 from .tensor import (
     Tensor,
+    active_arena,
     bmm,
     concatenate,
     einsum,
     gather,
+    inference_mode,
+    is_inference,
     scatter_add,
+    scratch_empty,
+    scratch_zeros,
     segment_matmul,
     stack,
+    use_arena,
     where,
 )
 
 __all__ = [
     "Adam",
+    "Arena",
     "BufferPool",
     "Dropout",
     "Embedding",
@@ -57,6 +64,7 @@ __all__ = [
     "SGD",
     "Sequential",
     "Tensor",
+    "active_arena",
     "bmm",
     "WarmupInverseSqrt",
     "clip_grad_norm",
@@ -64,13 +72,18 @@ __all__ = [
     "einsum",
     "functional",
     "gather",
+    "inference_mode",
+    "is_inference",
     "kaiming_normal",
     "load_checkpoint",
     "normal",
     "save_checkpoint",
     "scatter_add",
+    "scratch_empty",
+    "scratch_zeros",
     "segment_matmul",
     "stack",
+    "use_arena",
     "stack_expert_state",
     "unstack_expert_state",
     "where",

@@ -3,6 +3,13 @@
 Everything the paper's models need: activations, normalization,
 softmax/log-softmax (for gates and output heads), embedding lookup,
 dropout and the cross-entropy loss.
+
+Under :func:`~repro.nn.tensor.inference_mode` the hot primitives
+(relu/gelu, softmax, layer_norm, embedding) skip their backward-only
+intermediates and write results into the ambient arena's pooled
+buffers via ``out=`` — same floating-point operations in the same
+order, so outputs stay bit-identical to the training-mode forward on
+finite inputs.
 """
 
 from __future__ import annotations
@@ -11,11 +18,19 @@ from typing import Optional
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, _arena_out, is_inference
 
 
 def relu(x: Tensor) -> Tensor:
     """max(x, 0)."""
+    if is_inference():
+        # No backward, so no mask array; np.maximum matches the
+        # masked-where result everywhere on finite inputs (both return
+        # +0.0 for x = -0.0; they differ only on NaN, which where()
+        # silently mapped to 0.0 and maximum propagates).
+        return Tensor(
+            np.maximum(x.data, np.float32(0.0), out=_arena_out(x.shape))
+        )
     mask = x.data > 0
 
     def backward(g):
@@ -28,7 +43,13 @@ def gelu(x: Tensor) -> Tensor:
     """Gaussian error linear unit (tanh approximation)."""
     c = np.float32(np.sqrt(2.0 / np.pi))
     u = c * (x.data + 0.044715 * x.data**3)
-    t = np.tanh(u)
+    t = np.tanh(u, out=u) if is_inference() else np.tanh(u)
+    if is_inference():
+        # Same expression tree as below — ((0.5 * x) * (1 + t)) — with
+        # the final product landing in a pooled buffer.
+        return Tensor(
+            np.multiply(0.5 * x.data, 1.0 + t, out=_arena_out(x.shape))
+        )
     out = 0.5 * x.data * (1.0 + t)
 
     def backward(g):
@@ -81,6 +102,15 @@ def log(x: Tensor) -> Tensor:
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Numerically stable softmax along ``axis``."""
+    if is_inference():
+        # Same subtract / exp / divide sequence as below, fused into a
+        # single pooled buffer (exp and the final divide run in place).
+        s = np.subtract(
+            x.data, x.data.max(axis=axis, keepdims=True), out=_arena_out(x.shape)
+        )
+        np.exp(s, out=s)
+        np.divide(s, s.sum(axis=axis, keepdims=True), out=s)
+        return Tensor(s)
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     e = np.exp(shifted)
     s = e / e.sum(axis=axis, keepdims=True)
@@ -97,6 +127,9 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     shifted = x.data - x.data.max(axis=axis, keepdims=True)
     logsumexp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
     out = shifted - logsumexp
+    if is_inference():
+        # Skip the backward-only exp(out) materialization.
+        return Tensor(out)
     s = np.exp(out)
 
     def backward(g):
@@ -126,6 +159,14 @@ def layer_norm(
     mu = x.data.mean(axis=-1, keepdims=True)
     var = x.data.var(axis=-1, keepdims=True)
     inv = 1.0 / np.sqrt(var + eps)
+    if is_inference():
+        # Identical op sequence to the training path — (x - mu) * inv,
+        # * weight, + bias — chained in place through one pooled buffer.
+        xhat = np.subtract(x.data, mu, out=_arena_out(x.shape))
+        np.multiply(xhat, inv, out=xhat)
+        np.multiply(xhat, weight.data, out=xhat)
+        np.add(xhat, bias.data, out=xhat)
+        return Tensor(xhat)
     xhat = (x.data - mu) * inv
     out = xhat * weight.data + bias.data
 
@@ -158,6 +199,11 @@ def embedding(weight: Tensor, indices: np.ndarray) -> Tensor:
     idx = np.asarray(indices)
     if not np.issubdtype(idx.dtype, np.integer):
         raise TypeError(f"indices must be integers, got {idx.dtype}")
+    if is_inference():
+        out = _arena_out(idx.shape + weight.data.shape[1:])
+        if out is not None:
+            return Tensor(np.take(weight.data, idx, axis=0, out=out))
+        return Tensor(weight.data[idx])
 
     def backward(g):
         grad = np.zeros_like(weight.data)

@@ -13,8 +13,9 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from . import functional as F
+from .buffer_pool import Arena
 from .init import normal, xavier_uniform
-from .tensor import Tensor
+from .tensor import Tensor, inference_mode, use_arena
 
 
 class Module:
@@ -28,6 +29,36 @@ class Module:
 
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
+
+    def forward_inference(self, *args, **kwargs):
+        """Run :meth:`forward` on the autograd-free fast path.
+
+        Enters :func:`~repro.nn.tensor.inference_mode` (no backward
+        closures, no ``_parents``) with a module-owned
+        :class:`~repro.nn.buffer_pool.Arena` installed as the ambient
+        scratch allocator, so large intermediates draw from a pooled
+        free list instead of the heap.  The arena is reset at the
+        *start* of each call: outputs of call N stay readable until
+        call N+1 begins, after which their storage is recycled — copy
+        anything that must live longer.
+
+        The module is switched to ``eval()`` for the duration (and
+        restored), so dropout is off; outputs are bit-identical to an
+        ``eval()``-mode training-tape forward.
+        """
+        arena = getattr(self, "_inference_arena", None)
+        if arena is None:
+            arena = self._inference_arena = Arena()
+        was_training = self.training
+        if was_training:
+            self.eval()
+        arena.reset()
+        try:
+            with inference_mode(), use_arena(arena):
+                return self.forward(*args, **kwargs)
+        finally:
+            if was_training:
+                self.train()
 
     # -- tree walking -----------------------------------------------------
     def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Tensor]]:

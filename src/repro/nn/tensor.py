@@ -10,16 +10,151 @@ result, its parents and a closure that maps the output gradient to
 parent-gradient contributions.  :meth:`Tensor.backward` topologically
 sorts the tape and accumulates gradients into ``.grad`` of leaf
 tensors with ``requires_grad=True``.
+
+**Inference mode.**  :func:`inference_mode` is a process-wide context
+(mirroring ``default_dispatch_mode`` / ``default_expert_impl``) under
+which the tape is never built: :meth:`Tensor._needs_grad` — the single
+guard every op consults before attaching parents and a backward
+closure — reports False, so ``_parents`` stays empty, no closure is
+retained, and every intermediate array is released the moment its
+consumer has run.  Tensors produced inside the context are marked, and
+calling :meth:`Tensor.backward` on one raises instead of silently
+walking an empty tape.
+
+**Arenas.**  :func:`use_arena` installs a step-scoped scratch
+allocator (:class:`~repro.nn.buffer_pool.Arena`).  While *both* an
+arena is active and inference mode is on, the large-output kernels
+below (`matmul`, `gather`, `scatter_add`, `bmm`, `segment_matmul`,
+`concatenate`, elementwise add/mul) write their results into pooled
+buffers via ``out=`` instead of fresh allocations, so a steady-state
+forward loop stops allocating entirely after its first step.  Arena
+buffers are recycled at the caller's ``Arena.reset()`` — outputs are
+valid until then and must be copied if they need to live longer.
 """
 
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, Sequence]
+
+# -- inference mode + active arena (process-wide, context-managed) ------
+
+_inference_mode = False
+_active_arena = None
+
+#: Below this element count an arena indirection costs more than the
+#: allocation it saves, and tiny keys would crowd the pool's bounded
+#: free lists — small results stay on the plain allocator.
+_ARENA_MIN_ELEMS = 4096
+
+
+@contextmanager
+def inference_mode():
+    """Forward-only execution: no autograd tape anywhere inside.
+
+    Process-wide and re-entrant, in the style of
+    ``repro.moe.layer.default_dispatch_mode``.  Inside the block every
+    op short-circuits its tape construction (``_parents`` empty, no
+    backward closure), so intermediates die as soon as their consumers
+    run and a pure forward pass stops paying training-peak memory.
+    Tensors created inside are marked: calling ``backward()`` on one
+    raises a :class:`RuntimeError`.
+
+    The flag is a module global read under the GIL — the overlap
+    executor's worker threads observe the mode their driving forward
+    set, but interleaving training and inference forwards from
+    *different* threads is not supported.
+    """
+    global _inference_mode
+    previous = _inference_mode
+    _inference_mode = True
+    try:
+        yield
+    finally:
+        _inference_mode = previous
+
+
+def is_inference() -> bool:
+    """Whether an :func:`inference_mode` block is active."""
+    return _inference_mode
+
+
+@contextmanager
+def use_arena(arena):
+    """Install ``arena`` as the ambient scratch allocator.
+
+    Only consulted while :func:`inference_mode` is also active (a
+    training forward must keep its intermediates alive for backward,
+    which is exactly what an arena's step-scoped recycling forbids).
+    Nests: the previous arena is restored on exit.
+    """
+    global _active_arena
+    previous = _active_arena
+    _active_arena = arena
+    try:
+        yield arena
+    finally:
+        _active_arena = previous
+
+
+def active_arena():
+    """The ambient arena installed by :func:`use_arena`, or None."""
+    return _active_arena
+
+
+def _elems(shape) -> int:
+    n = 1
+    for s in shape:
+        n *= int(s)
+    return n
+
+
+def scratch_empty(shape, dtype=np.float32) -> np.ndarray:
+    """An uninitialized result buffer: pooled when an arena is active.
+
+    Falls back to ``np.empty`` outside inference mode, without an
+    arena, or for results too small to be worth pooling — callers use
+    it unconditionally and get the right allocator either way.
+    """
+    if (
+        _inference_mode
+        and _active_arena is not None
+        and _elems(shape) >= _ARENA_MIN_ELEMS
+    ):
+        return _active_arena.empty(shape, dtype)
+    return np.empty(shape, dtype=dtype)
+
+
+def scratch_zeros(shape, dtype=np.float32) -> np.ndarray:
+    """Zero-filled variant of :func:`scratch_empty`."""
+    if (
+        _inference_mode
+        and _active_arena is not None
+        and _elems(shape) >= _ARENA_MIN_ELEMS
+    ):
+        return _active_arena.zeros(shape, dtype)
+    return np.zeros(shape, dtype=dtype)
+
+
+def _arena_out(shape) -> Optional[np.ndarray]:
+    """A pooled ``out=`` target, or None when the op should allocate.
+
+    Unlike :func:`scratch_empty` this returns None rather than a fresh
+    array outside the pooled regime, so ops can keep their original
+    (and occasionally cheaper) no-``out`` expression on that path.
+    """
+    if (
+        _inference_mode
+        and _active_arena is not None
+        and _elems(shape) >= _ARENA_MIN_ELEMS
+    ):
+        return _active_arena.empty(shape, np.float32)
+    return None
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -40,7 +175,10 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
 class Tensor:
     """A numpy array with an autograd tape."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+    __slots__ = (
+        "data", "grad", "requires_grad", "_backward", "_parents",
+        "_inference",
+    )
 
     def __init__(
         self,
@@ -56,6 +194,10 @@ class Tensor:
         self.requires_grad = requires_grad
         self._parents = _parents
         self._backward = _backward
+        # Tensors born inside inference_mode() carry no tape by
+        # construction; the mark turns a later backward() into a clear
+        # error instead of a silent no-op walk of an empty graph.
+        self._inference = _inference_mode
 
     # -- basic introspection -------------------------------------------
     @property
@@ -93,6 +235,11 @@ class Tensor:
     # -- tape management -----------------------------------------------
     @staticmethod
     def _needs_grad(*tensors: "Tensor") -> bool:
+        if _inference_mode:
+            # The single choke point every op consults before attaching
+            # parents and a backward closure: under inference_mode()
+            # nothing ever needs grad, so no tape exists anywhere.
+            return False
         return any(t.requires_grad or t._parents for t in tensors)
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -107,6 +254,13 @@ class Tensor:
         ``grad`` defaults to ones (only valid for scalar outputs this
         is the conventional seed of 1.0).
         """
+        if self._inference:
+            raise RuntimeError(
+                "this tensor was produced under inference_mode(): no "
+                "autograd tape was recorded, so there is nothing to "
+                "differentiate.  Re-run the forward outside the "
+                "inference_mode() block to train."
+            )
         if grad is None:
             if self.data.size != 1:
                 raise ValueError(
@@ -173,7 +327,17 @@ class Tensor:
                 (other, _unbroadcast(g, other.shape)),
             )
 
-        return self._make(self.data + other.data, (self, other), backward)
+        if _inference_mode:
+            data = np.add(
+                self.data,
+                other.data,
+                out=_arena_out(
+                    np.broadcast_shapes(self.data.shape, other.data.shape)
+                ),
+            )
+        else:
+            data = self.data + other.data
+        return self._make(data, (self, other), backward)
 
     __radd__ = __add__
 
@@ -198,7 +362,17 @@ class Tensor:
                 (other, _unbroadcast(g * self.data, other.shape)),
             )
 
-        return self._make(self.data * other.data, (self, other), backward)
+        if _inference_mode:
+            data = np.multiply(
+                self.data,
+                other.data,
+                out=_arena_out(
+                    np.broadcast_shapes(self.data.shape, other.data.shape)
+                ),
+            )
+        else:
+            data = self.data * other.data
+        return self._make(data, (self, other), backward)
 
     __rmul__ = __mul__
 
@@ -254,7 +428,15 @@ class Tensor:
             return ((self, _unbroadcast(ga, a.shape)),
                     (other, _unbroadcast(gb, b.shape)))
 
-        return self._make(self.data @ other.data, (self, other), backward)
+        a, b = self.data, other.data
+        if _inference_mode and a.ndim >= 2 and b.ndim >= 2:
+            shape = np.broadcast_shapes(a.shape[:-2], b.shape[:-2]) + (
+                a.shape[-2], b.shape[-1],
+            )
+            data = np.matmul(a, b, out=_arena_out(shape))
+        else:
+            data = a @ b
+        return self._make(data, (self, other), backward)
 
     # -- reductions ------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
@@ -342,7 +524,13 @@ class Tensor:
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Differentiable concatenation along ``axis``."""
     tensors = [Tensor._lift(t) for t in tensors]
-    data = np.concatenate([t.data for t in tensors], axis=axis)
+    arrays = [t.data for t in tensors]
+    if _inference_mode and arrays:
+        shape = list(arrays[0].shape)
+        shape[axis] = sum(a.shape[axis] for a in arrays)
+        data = np.concatenate(arrays, axis=axis, out=_arena_out(tuple(shape)))
+    else:
+        data = np.concatenate(arrays, axis=axis)
     sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
 
@@ -411,7 +599,13 @@ def gather(x: Tensor, indices: np.ndarray, axis: int = 0) -> Tensor:
     if x.ndim == 0:
         raise ValueError("cannot gather from a 0-d tensor")
     axis = axis % x.ndim
-    data = np.take(x.data, idx, axis=axis)
+    if _inference_mode and axis == 0:
+        data = np.take(
+            x.data, idx, axis=0,
+            out=_arena_out(idx.shape + x.data.shape[1:]),
+        )
+    else:
+        data = np.take(x.data, idx, axis=axis)
 
     def backward(g):
         grad = np.zeros_like(x.data)
@@ -423,6 +617,63 @@ def gather(x: Tensor, indices: np.ndarray, axis: int = 0) -> Tensor:
         return ((x, grad),)
 
     return x._make(data, (x,), backward)
+
+
+#: Deepest index multiplicity the padded round-sum scatter handles:
+#: its (rows, depth, ...) staging buffer and its depth sequential adds
+#: both scale with the deepest duplicate, so past ~top-k depths the
+#: buffered ``np.add.at`` is the better loser.  Expert-choice combines
+#: (a token selected by up to E experts) fall back there.
+_SCATTER_ROUNDS_MAX_DEPTH = 8
+
+
+def _scatter_add_inference(
+    out: np.ndarray, idx: np.ndarray, values: np.ndarray
+) -> None:
+    """``out[idx] += values`` with duplicate indices, vectorized.
+
+    ``np.add.at`` is the correctness workhorse of the accumulating
+    scatter but cannot vectorize (any element might collide with any
+    other), which makes it the single most expensive non-GEMM op of
+    the MoE combine.  This version exploits what the router guarantees
+    — each destination token receives at most top-k contributions — by
+    splitting the input into *occurrence rounds*: element n's round is
+    how many earlier elements target the same destination.  Within a
+    round destinations are unique by construction, so each round is
+    one fancy-index scatter; summing the per-round planes in round
+    order reproduces ``np.add.at``'s sequential order exactly.
+
+    Bit-identical to ``np.add.at(out, idx, values)`` on the zeroed
+    ``out`` the caller passes: every destination accumulates its
+    contributions in input order starting from +0.0, and the trailing
+    +0.0 pads (destinations with fewer than ``depth`` contributions)
+    are exact identities — a partial sum seeded from +0.0 can never be
+    -0.0, the only value ``+ 0.0`` would alter.
+
+    Forward-only (hence the name): the padded staging buffer comes
+    from the ambient arena and the adjoint bookkeeping of
+    :func:`scatter_add`'s tape is not wired through it.
+    """
+    if idx.size == 0:
+        return
+    counts = np.bincount(idx, minlength=out.shape[0])
+    depth = int(counts.max(initial=0))
+    if depth <= 1:
+        # No duplicates at all: the compound fancy-index add is safe
+        # and fully vectorized.
+        out[idx] += values
+        return
+    if depth > _SCATTER_ROUNDS_MAX_DEPTH:
+        np.add.at(out, idx, values)
+        return
+    order = np.argsort(idx, kind="stable")
+    starts = np.concatenate([[0], np.cumsum(counts[:-1])])
+    occ = np.empty(idx.shape[0], dtype=np.int64)
+    occ[order] = np.arange(idx.shape[0], dtype=np.int64) - starts[idx[order]]
+    pad = scratch_zeros((out.shape[0], depth) + values.shape[1:], values.dtype)
+    pad[idx, occ] = values
+    for r in range(depth):
+        out += pad[:, r]
 
 
 def scatter_add(
@@ -463,9 +714,11 @@ def scatter_add(
             f"indices out of range for {num_rows} rows: "
             f"[{idx.min()}, {idx.max()}]"
         )
-    out = np.zeros((num_rows,) + values.shape[1:], dtype=np.float32)
+    out = scratch_zeros((num_rows,) + values.shape[1:], np.float32)
     if unique_indices:
         out[idx] = values.data
+    elif _inference_mode:
+        _scatter_add_inference(out, idx, values.data)
     else:
         np.add.at(out, idx, values.data)
 
@@ -507,7 +760,13 @@ def bmm(a: Tensor, b: Tensor) -> Tensor:
         raise ValueError(
             f"bmm inner dimensions differ: {a.shape} @ {b.shape}"
         )
-    data = np.matmul(a.data, b.data)
+    data = np.matmul(
+        a.data,
+        b.data,
+        out=_arena_out((a.shape[0], a.shape[1], b.shape[2]))
+        if _inference_mode
+        else None,
+    )
 
     def backward(g):
         return (
@@ -658,7 +917,7 @@ def segment_matmul(
             batched.append((experts, rows))
         singles = np.asarray(sorted(singles), dtype=np.int64)
 
-    data = np.empty((x.shape[0], weight.shape[2]), dtype=np.float32)
+    data = scratch_empty((x.shape[0], weight.shape[2]), np.float32)
     for experts, rows in batched:
         data[rows] = np.matmul(x.data[rows], weight.data[experts])
     for e in singles:

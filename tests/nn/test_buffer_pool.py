@@ -5,7 +5,7 @@ import threading
 import numpy as np
 import pytest
 
-from repro.nn import BufferPool
+from repro.nn import Arena, BufferPool
 
 
 def test_acquire_shape_and_reuse():
@@ -118,4 +118,82 @@ def test_release_accepts_owned_contiguous_arrays():
     pool = BufferPool()
     buf = pool.take_copy(np.ones((2, 6), dtype=np.float32))
     pool.release(buf)  # no raise
+    assert pool.idle_buffers() == 1
+
+
+# -- observability counters ---------------------------------------------------
+
+
+def test_stats_tracks_bytes_and_counters():
+    pool = BufferPool()
+    a = pool.acquire((4, 8))  # 128 bytes of float32
+    assert pool.bytes_allocated == a.nbytes
+    assert pool.bytes_held == 0  # checked out, not idle
+    pool.release(a)
+    assert pool.bytes_held == a.nbytes
+    b = pool.acquire((4, 8))  # served from the free list
+    assert b is a
+    assert pool.bytes_held == 0
+    assert pool.bytes_allocated == a.nbytes  # no new allocation
+    stats = pool.stats()
+    assert stats == {
+        "hits": 1,
+        "misses": 1,
+        "bytes_held": 0,
+        "bytes_allocated": a.nbytes,
+        "idle_buffers": 0,
+        "keys": 1,
+    }
+
+
+def test_stats_excludes_dropped_overflow_buffers():
+    """Releases beyond max_per_key go to the allocator, not bytes_held."""
+    pool = BufferPool(max_per_key=1)
+    bufs = [pool.acquire((16,)) for _ in range(3)]
+    for b in bufs:
+        pool.release(b)
+    assert pool.idle_buffers() == 1
+    assert pool.bytes_held == bufs[0].nbytes
+    assert pool.bytes_allocated == 3 * bufs[0].nbytes
+
+
+# -- the step-scoped arena ----------------------------------------------------
+
+
+def test_arena_holds_buffers_until_reset():
+    arena = Arena()
+    a = arena.empty((8, 8))
+    b = arena.zeros((8, 8))
+    assert not b.any()
+    assert arena.live_buffers == 2
+    # Nothing is recycled while the step is in flight: a third request
+    # for the same shape is a fresh allocation, never a or b.
+    c = arena.empty((8, 8))
+    assert c is not a and c is not b
+    assert arena.pool.stats()["misses"] == 3
+    arena.reset()
+    assert arena.live_buffers == 0
+    # After reset the whole working set is reusable.
+    d = arena.empty((8, 8))
+    assert any(d is buf for buf in (a, b, c))
+    assert arena.pool.stats()["hits"] == 1
+
+
+def test_arena_stats_includes_live_count():
+    arena = Arena()
+    arena.empty((4,))
+    stats = arena.stats()
+    assert stats["live_buffers"] == 1
+    assert stats["misses"] == 1
+    arena.reset()
+    assert arena.stats()["live_buffers"] == 0
+
+
+def test_arena_shares_a_caller_pool():
+    pool = BufferPool()
+    arena = Arena(pool=pool)
+    assert arena.pool is pool
+    arena.empty((2, 2))
+    assert pool.misses == 1
+    arena.reset()
     assert pool.idle_buffers() == 1
