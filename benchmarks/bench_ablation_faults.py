@@ -249,8 +249,15 @@ def write_report(report: dict) -> None:
     # The root artifact tracks the full grid only — a --tiny smoke run
     # must not clobber the recorded numbers.
     if report["mode"] == "full":
+        merged = dict(report)
+        if ROOT_JSON.exists():
+            # bench_ablation_recovery owns the "recovery" section of the
+            # root artifact; rewriting the fault grid must not drop it.
+            prior = json.loads(ROOT_JSON.read_text(encoding="utf-8"))
+            if "recovery" in prior:
+                merged["recovery"] = prior["recovery"]
         ROOT_JSON.write_text(
-            json.dumps(report, indent=2, sort_keys=True) + "\n",
+            json.dumps(merged, indent=2, sort_keys=True) + "\n",
             encoding="utf-8",
         )
 

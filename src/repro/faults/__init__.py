@@ -27,6 +27,14 @@ directly (:meth:`repro.moe.gating.GateOutput.with_experts_dropped`,
 An empty plan is guaranteed to leave every code path bit-identical to
 the fault-free simulator: :class:`~repro.cluster.topology.SimCluster`
 skips injector construction entirely when ``FaultPlan.is_empty()``.
+
+Degrading is only half a fault story.  The companion submodule
+:mod:`repro.faults.recovery` closes the loop — detect a dead worker,
+re-shard its experts onto survivors (placement swap + parameter
+re-instantiation from checkpoint or seeded re-init), price the
+re-shard all-to-all through the timing substrate, and decide
+reshard-vs-degraded — so a run returns to full expert count instead of
+training degraded forever.
 """
 
 from __future__ import annotations
@@ -37,8 +45,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
-from .cluster.costmodel import LinkModel
-from .cluster.engine import SimulationError
+from ..cluster.costmodel import LinkModel
+from ..cluster.engine import SimulationError
 
 #: Link classes a fault can target (``"any"`` is transient-only).
 LINK_KINDS = ("fabric", "nic")
@@ -121,7 +129,8 @@ class TransientFaults:
     independently with ``probability``; a failed attempt still occupies
     its link for the full transfer duration (the bytes moved, then the
     CRC said no), after which the sender backs off
-    ``backoff_s * backoff_multiplier**attempt`` simulated seconds and
+    :meth:`backoff_delay` simulated seconds (exponential in the attempt
+    number, saturating at :data:`BACKOFF_EXPONENT_CAP`) and
     retries.  After ``max_retries`` failed retries the transfer raises
     :class:`FaultError` — the fault is no longer transient.
 
@@ -164,9 +173,22 @@ class TransientFaults:
         """Whether this fault class applies to link class ``kind``."""
         return self.link == "any" or self.link == kind
 
+    #: Cap on the backoff exponent: beyond this the delay saturates
+    #: instead of growing.  2**30 ≈ 1e9 multiplier is already far past
+    #: any plausible budget; without the cap a pathological
+    #: ``max_retries`` (say 10_000) overflows float64 to ``inf`` and
+    #: the simulated clock never advances past the retry loop.
+    BACKOFF_EXPONENT_CAP = 30
+
     def backoff_delay(self, attempt: int) -> float:
-        """Simulated wait before retry number ``attempt`` (0-based)."""
-        return self.backoff_s * self.backoff_multiplier**attempt
+        """Simulated wait before retry number ``attempt`` (0-based).
+
+        Exponential with a saturating exponent: attempts past
+        :data:`BACKOFF_EXPONENT_CAP` all wait the capped delay, so the
+        delay is always finite no matter the retry budget.
+        """
+        exponent = min(attempt, self.BACKOFF_EXPONENT_CAP)
+        return self.backoff_s * self.backoff_multiplier**exponent
 
 
 @dataclass(frozen=True)

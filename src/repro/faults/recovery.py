@@ -1,0 +1,497 @@
+"""Elastic recovery: detect → adopt → re-instantiate → rebalance.
+
+The graceful-degradation layer (PR 5) answers "a worker died, keep
+stepping" by capacity-dropping the dead worker's experts with gate
+renormalization — correct, but permanent: the model then trains with
+fewer experts forever.  This module closes the loop with the recovery
+state machine the ROADMAP names:
+
+1. **detect** — a worker is declared dead
+   (:meth:`~repro.moe.parallel.ExpertParallelGroup.set_dead_workers`,
+   usually driven by a :class:`~repro.faults.FaultPlan` scenario);
+2. **adopt** — survivors take over the lost experts with a minimal-move
+   placement rebalance
+   (:meth:`~repro.moe.placement.ExpertPlacement.with_workers_removed`,
+   version bumped);
+3. **re-instantiate** — the lost experts' parameters are restored on
+   their new hosts, either exactly from the last crash-safe checkpoint
+   or by *seeded re-init* (documented semantics: expert ``e`` is drawn
+   from ``np.random.default_rng((reinit_seed, placement_version, e))``
+   exactly as the :class:`~repro.moe.experts.Experts` constructor
+   draws one expert — fc1 xavier, fc2 xavier, zero biases — so every
+   replay of the same recovery produces identical parameters);
+4. **renorm removal** — the dead-worker set is cleared, so gating
+   returns to the full expert count with no renormalization: the
+   recovered group's forward is bit-identical to a freshly constructed
+   group with the same placement and parameters.
+
+Scale-up is the same machinery pointed the other way
+(:meth:`RecoveryController.scale_up` /
+:meth:`~repro.moe.parallel.ExpertParallelGroup.admit_worker`): a new
+worker is admitted mid-run and receives its fair share of experts with
+the minimal move set.
+
+Every transition is priced through the *timing* substrate: the expert
+slices that must move are counted in bytes
+(:func:`~repro.moe.placement.reshard_traffic`) and converted to
+simulated seconds by :func:`~repro.collectives.measure_a2a` — on a
+healthy cluster or under a :class:`~repro.faults.FaultPlan` (the
+re-shard happens on the *degraded* cluster, after all).
+:func:`reshard_vs_degraded` turns those numbers into the planner's
+decision hook: pay the one-off re-shard or keep stepping as-is.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from . import FaultPlan
+from ..moe.placement import (
+    ExpertPlacement,
+    expert_param_bytes,
+    reshard_moves,
+    reshard_traffic,
+)
+
+__all__ = [
+    "RecoveryController",
+    "RecoveryEvent",
+    "RecoveryDemo",
+    "ReshardDecision",
+    "load_recovery_demo",
+    "price_reshard",
+    "reshard_vs_degraded",
+    "save_recovery_demo",
+]
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One completed recovery or scale-up transition (the audit record)."""
+
+    kind: str  # "recover" | "scale-up"
+    dead_workers: Tuple[int, ...]
+    adopted_experts: Tuple[int, ...]
+    moves: Tuple[Tuple[int, int, int], ...]  # (expert, src, dst)
+    old_version: int
+    new_version: int
+    source: str  # "checkpoint" | "reinit" | "move"
+    reshard_total_bytes: int
+    reshard_per_gpu_bytes: int
+
+
+@dataclass(frozen=True)
+class ReshardDecision:
+    """The reshard-vs-continue tradeoff, priced in simulated seconds.
+
+    ``continue_step_s`` is the per-step cost of keeping the current
+    configuration; ``reshard_step_s`` the per-step cost after paying
+    the one-off ``reshard_s``.  ``breakeven_steps`` is the horizon
+    beyond which resharding is cheaper (``inf`` when resharding never
+    pays off *in time* — after a worker death, degraded steps are
+    usually cheaper per step because fewer experts run, and the reason
+    to reshard anyway is model quality: the recovered run serves the
+    full expert count, which no step-time metric captures).
+    """
+
+    reshard_s: float
+    continue_step_s: float
+    reshard_step_s: float
+    horizon_steps: int
+    continue_total_s: float
+    reshard_total_s: float
+    breakeven_steps: float
+    recommendation: str  # "reshard" | "continue"
+
+
+def reshard_vs_degraded(
+    reshard_s: float,
+    continue_step_s: float,
+    reshard_step_s: float,
+    horizon_steps: int,
+) -> ReshardDecision:
+    """The planner's decision hook: pay the re-shard or keep stepping.
+
+    Pure arithmetic over simulated seconds, so callers can price any
+    pair of configurations — degraded vs recovered, pre- vs
+    post-scale-up — over a planning horizon.
+    """
+    if horizon_steps < 0:
+        raise ValueError(
+            f"horizon_steps must be >= 0, got {horizon_steps}"
+        )
+    if reshard_s < 0:
+        raise ValueError(f"reshard_s must be >= 0, got {reshard_s}")
+    saving = continue_step_s - reshard_step_s
+    breakeven = reshard_s / saving if saving > 0 else math.inf
+    continue_total = horizon_steps * continue_step_s
+    reshard_total = reshard_s + horizon_steps * reshard_step_s
+    return ReshardDecision(
+        reshard_s=reshard_s,
+        continue_step_s=continue_step_s,
+        reshard_step_s=reshard_step_s,
+        horizon_steps=horizon_steps,
+        continue_total_s=continue_total,
+        reshard_total_s=reshard_total,
+        breakeven_steps=breakeven,
+        recommendation=(
+            "reshard" if reshard_total < continue_total else "continue"
+        ),
+    )
+
+
+def price_reshard(
+    spec,
+    per_gpu_bytes: Union[int, float],
+    algo: str = "pipe",
+    faults: Optional[FaultPlan] = None,
+) -> float:
+    """Simulated seconds to move ``per_gpu_bytes`` of expert slices.
+
+    The re-shard exchange is all-to-all-shaped (several workers send
+    expert slices to several others at once), so it is priced as one
+    A2A of the busiest endpoint's payload
+    (``reshard_traffic(...)["per_gpu_bytes"]``) — a conservative bound,
+    since the real exchange is sparser.  ``faults`` prices it on a
+    degraded cluster: recovering *through* the fault costs more than
+    the healthy number, and that difference is part of the decision.
+    """
+    per_gpu_bytes = float(per_gpu_bytes)
+    if per_gpu_bytes < 0:
+        raise ValueError(
+            f"per_gpu_bytes must be >= 0, got {per_gpu_bytes}"
+        )
+    if per_gpu_bytes == 0:
+        return 0.0
+    from ..collectives import get_a2a, measure_a2a
+
+    result = measure_a2a(
+        get_a2a(algo), spec, per_gpu_bytes, faults=faults
+    )
+    if result.oom:
+        raise MemoryError(
+            f"re-shard A2A of {per_gpu_bytes:.3e} B/GPU does not fit "
+            f"on the cluster (peak {result.peak_bytes_per_gpu:.3e} B)"
+        )
+    return result.seconds
+
+
+class RecoveryController:
+    """Drives a live :class:`ExpertParallelGroup` through recovery.
+
+    ``checkpoint`` (optional) is a crash-safe archive written by
+    :func:`repro.nn.serialization.save_checkpoint`; when given, lost
+    experts are restored *exactly* from it (the training loss picks up
+    where the checkpoint left those experts).  Without one, lost
+    experts are seeded-re-initialized — deterministic (see the module
+    docstring) but fresh, so those experts restart learning.
+    ``bank_prefix`` names the expert bank inside the checkpoint when
+    the archive holds more than one (e.g. ``"experts"`` for a bare
+    :class:`MoELayer` checkpoint, ``"layers.3.moe.experts"`` inside a
+    full LM); with exactly one bank it is found automatically.
+
+    The controller remembers every worker it has retired, so repeated
+    failures never rebalance experts back onto a dead rank, and each
+    transition appends a :class:`RecoveryEvent` to :attr:`events`.
+    """
+
+    def __init__(
+        self,
+        group,
+        checkpoint: Optional[Union[str, Path]] = None,
+        reinit_seed: int = 0,
+        bank_prefix: Optional[str] = None,
+    ):
+        self.group = group
+        self.checkpoint = Path(checkpoint) if checkpoint else None
+        self.reinit_seed = int(reinit_seed)
+        self.bank_prefix = bank_prefix
+        self.retired: frozenset = frozenset()
+        self.events: List[RecoveryEvent] = []
+
+    # -- helpers -----------------------------------------------------------
+    def _bytes_per_expert(self) -> int:
+        experts = self.group.layer.experts
+        return expert_param_bytes(experts.model_dim, experts.hidden_dim)
+
+    def _checkpoint_bank(self) -> Dict[str, np.ndarray]:
+        """The stacked w1/b1/w2/b2 bank stored in the checkpoint."""
+        from ..nn.serialization import (
+            _EXTRA_PREFIX,
+            _META_KEY,
+            _bank_bases,
+            stack_expert_state,
+        )
+
+        experts = self.group.layer.experts
+        with np.load(self.checkpoint, allow_pickle=False) as archive:
+            state = {
+                name: archive[name]
+                for name in archive.files
+                if name != _META_KEY
+                and not name.startswith(_EXTRA_PREFIX)
+            }
+        state = stack_expert_state(state)
+        bases = _bank_bases(state, experts.num_experts)
+        if self.bank_prefix is not None:
+            base = self.bank_prefix
+            if base and not base.endswith("."):
+                base += "."
+            if base not in bases:
+                raise KeyError(
+                    f"no expert bank {self.bank_prefix!r} in "
+                    f"{self.checkpoint} (found: {sorted(bases)})"
+                )
+        elif len(bases) == 1:
+            base = bases[0]
+        elif not bases:
+            raise KeyError(
+                f"no stacked expert bank with "
+                f"{experts.num_experts} experts in {self.checkpoint}"
+            )
+        else:
+            raise KeyError(
+                f"{self.checkpoint} holds {len(bases)} expert banks "
+                f"({sorted(bases)}); pass bank_prefix= to pick one"
+            )
+        bank = {n: state[base + n] for n in ("w1", "b1", "w2", "b2")}
+        if bank["w1"].shape != (
+            experts.num_experts, experts.model_dim, experts.hidden_dim
+        ):
+            raise ValueError(
+                f"checkpoint bank shape {bank['w1'].shape} does not "
+                f"match the live bank ({experts.num_experts}, "
+                f"{experts.model_dim}, {experts.hidden_dim})"
+            )
+        return bank
+
+    def _restore_experts(
+        self, lost: Tuple[int, ...], new_version: int
+    ) -> str:
+        experts = self.group.layer.experts
+        if self.checkpoint is not None:
+            bank = self._checkpoint_bank()
+            for e in lost:
+                experts.load_expert_slice(
+                    e,
+                    bank["w1"][e],
+                    bank["b1"][e],
+                    bank["w2"][e],
+                    bank["b2"][e],
+                )
+            return "checkpoint"
+        for e in lost:
+            # Seeded re-init: deterministic in (seed, version, expert),
+            # independent of recovery order and of how many experts
+            # were lost together.
+            rng = np.random.default_rng(
+                (self.reinit_seed, new_version, e)
+            )
+            experts.reinit_expert(e, rng)
+        return "reinit"
+
+    # -- transitions -------------------------------------------------------
+    def recover(self, dead_workers=None) -> RecoveryEvent:
+        """Adopt + re-instantiate a dead worker's experts on survivors.
+
+        ``dead_workers`` defaults to the group's currently declared
+        dead set (the usual flow: ``group.set_dead_workers({w})`` on
+        detection, possibly some degraded steps, then ``recover()``).
+        Afterwards the group is healthy again: full expert count, no
+        gate renormalization, placement version bumped — and its
+        forward is bit-identical to a freshly built group with the
+        same placement and parameters.
+        """
+        group = self.group
+        dead = frozenset(
+            int(w)
+            for w in (
+                group.dead_workers if dead_workers is None else dead_workers
+            )
+        )
+        if not dead:
+            raise ValueError(
+                "no dead workers to recover from: declare them via "
+                "group.set_dead_workers(...) or pass dead_workers="
+            )
+        old = group.placement
+        lost = tuple(
+            sorted(e for w in dead for e in old.experts_of(w))
+        )
+        # Never rebalance onto a previously retired rank either.
+        new = old.with_workers_removed(dead | self.retired)
+        moves = reshard_moves(old, new)
+        source = self._restore_experts(lost, new.version)
+        group.set_placement(new)
+        group.set_dead_workers(())  # renorm removal: full expert count
+        self.retired |= dead
+        traffic = reshard_traffic(
+            moves, self._bytes_per_expert(), new.num_workers
+        )
+        event = RecoveryEvent(
+            kind="recover",
+            dead_workers=tuple(sorted(dead)),
+            adopted_experts=lost,
+            moves=moves,
+            old_version=old.version,
+            new_version=new.version,
+            source=source,
+            reshard_total_bytes=traffic["total_bytes"],
+            reshard_per_gpu_bytes=traffic["per_gpu_bytes"],
+        )
+        self.events.append(event)
+        return event
+
+    def scale_up(self) -> RecoveryEvent:
+        """Admit a new worker and move its fair share of experts to it.
+
+        The group must be healthy (recover first); the new rank is
+        ``group.num_workers`` before the call.  Parameters never
+        change — expert slices only *move* (the shared bank makes that
+        a no-op single-process; the byte cost of the real movement is
+        in the returned event).
+        """
+        group = self.group
+        if group.dead_workers:
+            raise RuntimeError(
+                "cannot scale up around dead workers "
+                f"{sorted(group.dead_workers)}; recover() first"
+            )
+        old = group.placement
+        new = group.admit_worker()
+        moves = reshard_moves(old, new)
+        traffic = reshard_traffic(
+            moves, self._bytes_per_expert(), new.num_workers
+        )
+        event = RecoveryEvent(
+            kind="scale-up",
+            dead_workers=(),
+            adopted_experts=tuple(e for e, _, _ in moves),
+            moves=moves,
+            old_version=old.version,
+            new_version=new.version,
+            source="move",
+            reshard_total_bytes=traffic["total_bytes"],
+            reshard_per_gpu_bytes=traffic["per_gpu_bytes"],
+        )
+        self.events.append(event)
+        return event
+
+    # -- pricing -----------------------------------------------------------
+    def price_event(
+        self,
+        event: RecoveryEvent,
+        spec,
+        algo: str = "pipe",
+        faults: Optional[FaultPlan] = None,
+    ) -> float:
+        """Simulated seconds the event's re-shard exchange takes."""
+        return price_reshard(
+            spec, event.reshard_per_gpu_bytes, algo=algo, faults=faults
+        )
+
+
+# --------------------------------------------------------------------------
+# Demo plans (``python -m repro faults --write-demo --recovery`` /
+# ``python -m repro reshard --plan``)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RecoveryDemo:
+    """A self-contained kill→recover(→scale-up) scenario description.
+
+    Everything ``python -m repro reshard`` needs to exercise the
+    controller end to end on the numerical substrate, bundled with the
+    :class:`FaultPlan` that prices the re-shard on the timing
+    substrate.  ``strategy`` selects parameter re-instantiation:
+    ``"reinit"`` (seeded) or ``"checkpoint"`` (a checkpoint of the
+    healthy layer is cut before the kill and restored from).
+    """
+
+    num_workers: int = 4
+    num_experts: int = 8
+    model_dim: int = 32
+    hidden_dim: int = 32
+    tokens: int = 64
+    kill_worker: int = 1
+    scale_up: bool = True
+    seed: int = 0
+    strategy: str = "reinit"
+    faults: FaultPlan = field(default_factory=FaultPlan)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.kill_worker < self.num_workers:
+            raise ValueError(
+                f"kill_worker {self.kill_worker} out of range "
+                f"[0, {self.num_workers})"
+            )
+        if self.strategy not in ("reinit", "checkpoint"):
+            raise ValueError(
+                "strategy must be 'reinit' or 'checkpoint', got "
+                f"{self.strategy!r}"
+            )
+        if self.num_experts % self.num_workers != 0:
+            raise ValueError(
+                "the demo starts from the contiguous placement: "
+                f"num_experts {self.num_experts} must be divisible by "
+                f"num_workers {self.num_workers}"
+            )
+
+    def to_json_dict(self) -> dict:
+        blob = {
+            "num_workers": self.num_workers,
+            "num_experts": self.num_experts,
+            "model_dim": self.model_dim,
+            "hidden_dim": self.hidden_dim,
+            "tokens": self.tokens,
+            "kill_worker": self.kill_worker,
+            "scale_up": self.scale_up,
+            "seed": self.seed,
+            "strategy": self.strategy,
+            "faults": self.faults.to_json_dict(),
+        }
+        return blob
+
+    @staticmethod
+    def from_json_dict(blob: dict) -> "RecoveryDemo":
+        known = {
+            "num_workers", "num_experts", "model_dim", "hidden_dim",
+            "tokens", "kill_worker", "scale_up", "seed", "strategy",
+            "faults",
+        }
+        unknown = set(blob) - known
+        if unknown:
+            raise ValueError(
+                f"unknown recovery-demo keys: {sorted(unknown)}"
+            )
+        kwargs = {k: blob[k] for k in known - {"faults"} if k in blob}
+        if "faults" in blob:
+            kwargs["faults"] = FaultPlan.from_json_dict(blob["faults"])
+        return RecoveryDemo(**kwargs)
+
+
+def save_recovery_demo(
+    demo: RecoveryDemo, path: Union[str, Path]
+) -> None:
+    """Write a demo scenario as JSON (``repro reshard --plan`` format)."""
+    Path(path).write_text(
+        json.dumps(demo.to_json_dict(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def load_recovery_demo(path: Union[str, Path]) -> RecoveryDemo:
+    """Read a scenario written by :func:`save_recovery_demo`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no recovery demo at {path}")
+    return RecoveryDemo.from_json_dict(
+        json.loads(path.read_text(encoding="utf-8"))
+    )

@@ -30,6 +30,12 @@ from .gating import (
 )
 from .layer import MoELayer, default_dispatch_mode
 from .parallel import A2ATraffic, ExpertParallelGroup
+from .placement import (
+    ExpertPlacement,
+    expert_param_bytes,
+    reshard_moves,
+    reshard_traffic,
+)
 from .routing import (
     RoutingPlan,
     plan_for_expert_choice,
@@ -42,8 +48,10 @@ __all__ = [
     "DISPATCH_MODES",
     "EXPERT_IMPLS",
     "ExpertParallelGroup",
+    "ExpertPlacement",
     "Experts",
     "default_expert_impl",
+    "expert_param_bytes",
     "GateOutput",
     "GroupedRouting",
     "MoELayer",
@@ -60,6 +68,8 @@ __all__ = [
     "load_balancing_loss",
     "plan_for_expert_choice",
     "plan_from_indices",
+    "reshard_moves",
+    "reshard_traffic",
     "route_fused",
     "validate_expert_impl",
 ]

@@ -160,6 +160,65 @@ class Experts(Module):
     def _act(self, x: Tensor) -> Tensor:
         return F.relu(x) if self.activation == "relu" else F.gelu(x)
 
+    def reinit_expert(self, expert: int, rng: np.random.Generator) -> None:
+        """Re-initialize one expert's parameters in place (recovery).
+
+        Draws exactly what the constructor draws for one expert — fc1
+        xavier, then fc2 xavier, biases zeroed — from ``rng``, so a
+        recovery controller that seeds ``rng`` deterministically (see
+        :class:`repro.faults.recovery.RecoveryController`) re-creates
+        the same parameters on every replay.  Any optimizer moments
+        attached to the bank's parameters are *not* touched: they are
+        whole-bank arrays, and zeroing another expert's slice is the
+        optimizer's caller's decision.
+        """
+        if not 0 <= expert < self.num_experts:
+            raise IndexError(
+                f"expert {expert} out of range [0, {self.num_experts})"
+            )
+        self.w1.data[expert] = xavier_uniform(
+            rng, self.model_dim, self.hidden_dim
+        )
+        self.b1.data[expert] = 0.0
+        self.w2.data[expert] = xavier_uniform(
+            rng, self.hidden_dim, self.model_dim
+        )
+        self.b2.data[expert] = 0.0
+
+    def load_expert_slice(
+        self,
+        expert: int,
+        w1: np.ndarray,
+        b1: np.ndarray,
+        w2: np.ndarray,
+        b2: np.ndarray,
+    ) -> None:
+        """Overwrite one expert's parameters with checkpointed values.
+
+        The shapes must match the stacked layout exactly
+        (``w1 (M, H)``, ``b1 (1, H)``, ``w2 (H, M)``, ``b2 (1, M)``) —
+        the per-expert slices :func:`repro.nn.serialization.
+        shard_expert_state` produces.
+        """
+        if not 0 <= expert < self.num_experts:
+            raise IndexError(
+                f"expert {expert} out of range [0, {self.num_experts})"
+            )
+        for name, value, param in (
+            ("w1", w1, self.w1),
+            ("b1", b1, self.b1),
+            ("w2", w2, self.w2),
+            ("b2", b2, self.b2),
+        ):
+            value = np.asarray(value, dtype=np.float32)
+            expected = param.data.shape[1:]
+            if value.shape != expected:
+                raise ValueError(
+                    f"expert {expert} {name}: expected shape "
+                    f"{expected}, got {value.shape}"
+                )
+            param.data[expert] = value
+
     def run_expert(self, expert: int, x: Tensor) -> Tensor:
         """Apply one expert's FFN to a (rows, M) tensor.
 

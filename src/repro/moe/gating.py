@@ -198,6 +198,12 @@ class GateOutput:
         Returns a new :class:`GateOutput` sharing the untouched index
         arrays; dense masks re-densify lazily from the updated
         routing.  An empty ``dead_experts`` returns ``self``.
+
+        Dropping is per-forward and stateless: recovery (see
+        :class:`repro.faults.recovery.RecoveryController`) does not
+        "undo" a drop — once the lost experts are re-instantiated on
+        survivors, callers simply stop passing them here and the gate
+        output returns to the full expert count with no renorm at all.
         """
         dead = frozenset(int(e) for e in dead_experts)
         if not dead:

@@ -196,6 +196,7 @@ class MoELayer(Module):
         #: Experts currently considered lost (graceful degradation);
         #: see :meth:`set_dead_experts`.
         self._dead_experts: frozenset = frozenset()
+        self._in_forward = False
         #: Auxiliary load-balancing loss of the most recent forward.
         self.last_aux_loss: Optional[Tensor] = None
         #: Gate statistics of the most recent forward.
@@ -224,8 +225,20 @@ class MoELayer(Module):
         so training continues with bounded loss impact instead of
         crashing.  Pass an empty collection to restore full health;
         with no dead experts the forward path is bit-identical to a
-        layer that never heard of faults.
+        layer that never heard of faults.  Rejected while a forward is
+        in flight (the overlap pipeline's task threads read routing
+        state without locks).
+
+        Recovering the lost experts instead of degrading — adopting
+        them on surviving workers and re-instantiating parameters — is
+        :class:`repro.faults.recovery.RecoveryController`'s job.
         """
+        if self._in_forward:
+            raise RuntimeError(
+                "the dead-expert set cannot change while a forward "
+                "pass is in flight: the pipeline's task threads are "
+                "reading it; mutate the layer only between forwards"
+            )
         dead = frozenset(int(e) for e in dead_experts)
         num_experts = self.gate.num_experts
         for e in dead:
@@ -256,6 +269,16 @@ class MoELayer(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         """(B, L, M) or (T, M) in; same shape out."""
+        # Mirrors ExpertParallelGroup's in-flight guard: under
+        # pipeline="overlap" the chunked path's StreamExecutor threads
+        # read routing state, so set_dead_experts mid-forward is a race.
+        self._in_forward = True
+        try:
+            return self._forward_impl(x)
+        finally:
+            self._in_forward = False
+
+    def _forward_impl(self, x: Tensor) -> Tensor:
         original_shape = x.shape
         if x.ndim == 3:
             tokens = x.reshape(-1, self.model_dim)

@@ -75,6 +75,7 @@ from ..nn.tensor import (
 )
 from .experts import Experts
 from .layer import MoELayer
+from .placement import ExpertPlacement
 
 
 @dataclass
@@ -98,9 +99,14 @@ class ExpertParallelGroup:
     """P logical workers sharing one MoE layer's parameters.
 
     The group borrows the gate and expert parameters of an existing
-    :class:`MoELayer` (expert ``e`` "lives" on worker
-    ``e // experts_per_worker``), so its forward output can be compared
-    bit-for-bit against the single-process layer.
+    :class:`MoELayer`; which worker "hosts" each expert is an
+    :class:`~repro.moe.placement.ExpertPlacement` — by default the
+    historical contiguous layout (expert ``e`` lives on worker
+    ``e // (E // P)``), but any possibly-unequal assignment works, and
+    :meth:`set_placement` / :meth:`admit_worker` change it at runtime
+    (elastic re-sharding — see :mod:`repro.faults.recovery`).  The
+    forward output can be compared bit-for-bit against the
+    single-process layer under every placement.
 
     ``num_chunks`` is the paper's partition degree r; ``pipeline``
     selects synchronous chunk-major execution (``"sync"``) or the
@@ -132,13 +138,20 @@ class ExpertParallelGroup:
         num_chunks: int = 1,
         scheduler: Union[str, Scheduler] = "optsche",
         link_bandwidth: Optional[float] = None,
+        placement: Optional[ExpertPlacement] = None,
     ):
         num_experts = layer.gate.num_experts
-        if num_workers < 1 or num_experts % num_workers != 0:
-            raise ValueError(
-                f"num_experts {num_experts} must be divisible by "
-                f"num_workers {num_workers}"
-            )
+        if placement is None:
+            # The historical default: equal contiguous shards (and the
+            # historical divisibility requirement that comes with it).
+            if num_workers < 1 or num_experts % num_workers != 0:
+                raise ValueError(
+                    f"num_experts {num_experts} must be divisible by "
+                    f"num_workers {num_workers}"
+                )
+            placement = ExpertPlacement.contiguous(num_experts, num_workers)
+        elif num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         if num_chunks < 1:
             raise ValueError(f"num_chunks must be >= 1, got {num_chunks}")
         if link_bandwidth is not None and link_bandwidth <= 0:
@@ -148,7 +161,6 @@ class ExpertParallelGroup:
         self.link_bandwidth = link_bandwidth
         self.layer = layer
         self.num_workers = num_workers
-        self.experts_per_worker = num_experts // num_workers
         self.pipeline = validate_pipeline(pipeline)
         self.num_chunks = int(num_chunks)
         self._executor = StreamExecutor(scheduler)
@@ -156,9 +168,88 @@ class ExpertParallelGroup:
         #: Per-task (start, end) seconds of the most recent chunked
         #: forward (both pipeline modes), for overlap introspection.
         self.last_timeline: Optional[dict] = None
+        self._in_forward = False
         self._dead_workers: frozenset = frozenset()
+        self._placement: ExpertPlacement = placement
+        self._validate_placement(placement)
         if dead_workers:
             self.set_dead_workers(dead_workers)
+
+    # -- placement ---------------------------------------------------------
+    @property
+    def placement(self) -> ExpertPlacement:
+        """The current (versioned) expert→worker assignment."""
+        return self._placement
+
+    @property
+    def experts_per_worker(self) -> int:
+        """Experts per worker under an *equal* placement.
+
+        Kept for the common balanced case; raises under an unequal
+        placement, where no single number exists — iterate
+        ``placement.experts_of(w)`` instead.
+        """
+        counts = set(self._placement.counts())
+        if len(counts) != 1:
+            raise AttributeError(
+                "experts_per_worker is undefined under the unequal "
+                f"placement {self._placement.counts()}; use "
+                "group.placement.experts_of(worker)"
+            )
+        return counts.pop()
+
+    def _validate_placement(self, placement: ExpertPlacement) -> None:
+        if placement.num_experts != self.layer.gate.num_experts:
+            raise ValueError(
+                f"placement covers {placement.num_experts} experts but "
+                f"the layer has {self.layer.gate.num_experts}"
+            )
+        if placement.num_workers != self.num_workers:
+            raise ValueError(
+                f"placement spans {placement.num_workers} workers but "
+                f"the group has {self.num_workers}"
+            )
+
+    def _check_not_in_forward(self, what: str) -> None:
+        # Satellite guard: the overlap pipeline's StreamExecutor runs
+        # task closures on two threads that read routing state
+        # (placement, dead workers) without locks — mutating either
+        # mid-forward is a data race, so fail loudly instead.
+        if self._in_forward:
+            raise RuntimeError(
+                f"{what} cannot change while a forward pass is in "
+                "flight: the pipeline's task threads are reading it; "
+                "mutate the group only between forwards"
+            )
+
+    def set_placement(self, placement: ExpertPlacement) -> None:
+        """Install a new expert→worker assignment (e.g. after recovery).
+
+        The placement must cover the layer's experts and the group's
+        worker count.  Callers move/re-instantiate any expert
+        parameters themselves (the group borrows the layer's shared
+        bank, so single-process there is nothing to copy) — see
+        :class:`repro.faults.recovery.RecoveryController` for the full
+        detect → adopt → re-instantiate sequence.  Rejected while a
+        forward is in flight.
+        """
+        self._check_not_in_forward("the expert placement")
+        self._validate_placement(placement)
+        self._placement = placement
+
+    def admit_worker(self) -> ExpertPlacement:
+        """Scale up: admit worker ``num_workers`` and rebalance.
+
+        The new worker takes over its fair share of experts with the
+        minimal move set (:meth:`ExpertPlacement.with_worker_added`);
+        the new placement (version bumped) is installed and returned.
+        Callers then pass ``num_workers + 1`` shards to :meth:`forward`.
+        """
+        self._check_not_in_forward("the worker count")
+        new_placement = self._placement.with_worker_added()
+        self.num_workers += 1
+        self._placement = new_placement
+        return new_placement
 
     # -- graceful degradation ----------------------------------------------
     @property
@@ -172,10 +263,7 @@ class ExpertParallelGroup:
         return frozenset(
             e
             for w in self._dead_workers
-            for e in range(
-                w * self.experts_per_worker,
-                (w + 1) * self.experts_per_worker,
-            )
+            for e in self._placement.experts_of(w)
         )
 
     def set_dead_workers(self, dead_workers) -> None:
@@ -189,8 +277,15 @@ class ExpertParallelGroup:
         the worker's expert range.  The dead worker's *data* shard is
         still processed (in the real system the DP replica re-feeds
         it; here the caller keeps passing all P shards).  Declaring
-        every worker dead is a total loss and is rejected.
+        every worker dead is a total loss and is rejected, as is any
+        change while a forward pass is in flight (the overlap
+        pipeline's threads read this set).
+
+        Degrading is one option; :class:`repro.faults.recovery.
+        RecoveryController` is the other — survivors adopt the lost
+        experts and routing returns to the full expert count.
         """
+        self._check_not_in_forward("the dead-worker set")
         dead = frozenset(int(w) for w in dead_workers)
         for w in dead:
             if not 0 <= w < self.num_workers:
@@ -205,9 +300,6 @@ class ExpertParallelGroup:
         self._dead_workers = dead
 
     # -- helpers -----------------------------------------------------------
-    def _owner(self, expert: int) -> int:
-        return expert // self.experts_per_worker
-
     def _occupy_link(self, wire_bytes: int) -> None:
         """Wire-time model: hold the link for the transfer duration.
 
@@ -274,9 +366,13 @@ class ExpertParallelGroup:
         sparse = self.layer.dispatch_mode == "sparse" and all(
             out.has_sparse for out in gate_outputs
         )
-        if sparse:
-            return self._forward_chunked(shards, gate_outputs)
-        return self._forward_dense_reference(shards, gate_outputs)
+        self._in_forward = True
+        try:
+            if sparse:
+                return self._forward_chunked(shards, gate_outputs)
+            return self._forward_dense_reference(shards, gate_outputs)
+        finally:
+            self._in_forward = False
 
     def forward_concatenated(self, shards: List[np.ndarray]) -> np.ndarray:
         """Forward then concatenate outputs in worker order."""
@@ -326,11 +422,18 @@ class ExpertParallelGroup:
         experts: Experts = self.layer.experts
         num_experts = self.layer.gate.num_experts
         model_dim = self.layer.model_dim
-        epw = self.experts_per_worker
         workers = range(self.num_workers)
         dead_workers = self._dead_workers
         r = self.num_chunks
         pool = self._pool
+        # The placement, frozen for this forward: owner per expert and
+        # each worker's hosted experts in ascending global-id order —
+        # the local segment order of every expert-major buffer below.
+        owner_of = self._placement.owner_array
+        hosted = [
+            np.asarray(self._placement.experts_of(w), dtype=np.int64)
+            for w in workers
+        ]
 
         # Per-worker routing metadata, gated once over the full shard
         # (chunking never re-gates: capacity, drops and weights are
@@ -395,6 +498,11 @@ class ExpertParallelGroup:
             chunk's (contiguous) token range, bit-identical to what
             sorting the chunk's kept assignments would produce —
             ``searchsorted`` re-bases it to chunk-local positions.
+            A destination's rows are that order restricted to the
+            experts it hosts (``nonzero`` preserves order, so under a
+            contiguous placement this is exactly the historical
+            contiguous slice); ``dst_counts`` aligns with the
+            destination's ascending hosted-expert order.
             """
             payloads = []
             for src in workers:
@@ -404,24 +512,25 @@ class ExpertParallelGroup:
                 gm = grouped_members[src][c]
                 sorted_sel = plans[src].grouped_kept_pos[gm]
                 order = np.searchsorted(sel, sorted_sel)
+                g_experts = plans[src].grouped_expert_ids[gm]
                 counts = np.bincount(
-                    plans[src].grouped_expert_ids[gm], minlength=num_experts
+                    g_experts, minlength=num_experts
                 ).astype(np.int64)
-                offset = 0
+                dst_of_row = owner_of[g_experts]
                 for dst in workers:
-                    dst_counts = counts[dst * epw : (dst + 1) * epw]
-                    n_dst = int(dst_counts.sum())
-                    if n_dst == 0 or dst in dead_workers:
+                    if dst in dead_workers:
                         continue
-                    seg = slice(offset, offset + n_dst)
+                    rowsel = np.nonzero(dst_of_row == dst)[0]
+                    if rowsel.size == 0:
+                        continue
+                    dst_counts = counts[hosted[dst]]
                     rows = shards[src][
-                        token_ids[src][sorted_sel[seg]]
+                        token_ids[src][sorted_sel[rowsel]]
                     ]
                     payloads.append((src, dst, rows, dst_counts))
                     # Positions within the chunk's kept-order list —
                     # how D2 puts returned rows back in gate order.
-                    return_map[(c, src, dst)] = order[seg]
-                    offset += n_dst
+                    return_map[(c, src, dst)] = order[rowsel]
             pending_dispatch[c] = payloads
 
         def a2a_dispatch(c: int) -> None:
@@ -449,9 +558,11 @@ class ExpertParallelGroup:
                 backs = [[] for _ in entries]
                 counts_full = np.zeros(num_experts, dtype=np.int64)
                 pos = 0
-                # Expert-major, sources in rank order within an expert
-                # — the contiguous-segment layout run_grouped consumes.
-                for e_local in range(epw):
+                # Expert-major over the destination's hosted experts
+                # (ascending global id), sources in rank order within
+                # an expert — the contiguous-segment layout
+                # run_grouped consumes.
+                for e_local, e in enumerate(hosted[dst]):
                     for i, (src, buf, counts) in enumerate(entries):
                         n = int(counts[e_local])
                         if n == 0:
@@ -460,7 +571,7 @@ class ExpertParallelGroup:
                         pieces.append(buf[lo : lo + n])
                         backs[i].append(np.arange(pos, pos + n))
                         pos += n
-                    counts_full[dst * epw + e_local] = sum(
+                    counts_full[e] = sum(
                         int(counts[e_local]) for _, _, counts in entries
                     )
                 rows = np.concatenate(
@@ -483,13 +594,13 @@ class ExpertParallelGroup:
                 rows, counts_full, back_index = item
                 if experts.expert_impl == "loop":
                     outs, offset = [], 0
-                    for e_local in range(epw):
-                        n = int(counts_full[dst * epw + e_local])
+                    for e in hosted[dst]:
+                        n = int(counts_full[e])
                         if n == 0:
                             continue
                         outs.append(
                             experts.run_expert(
-                                dst * epw + e_local,
+                                int(e),
                                 Tensor(rows[offset : offset + n]),
                             ).data
                         )
@@ -589,6 +700,7 @@ class ExpertParallelGroup:
         model_dim = self.layer.model_dim
         workers = range(self.num_workers)
         dead_workers = self._dead_workers
+        owners = self._placement.owners
 
         # Dispatch: worker w builds, for each expert e, its (C, M)
         # capacity-padded buffer — the block it sends to e's owner.
@@ -605,7 +717,7 @@ class ExpertParallelGroup:
         inbox = [[None] * self.num_workers for _ in workers]  # [dst][src]
         for src in workers:
             for expert in range(num_experts):
-                dst = self._owner(expert)
+                dst = owners[expert]
                 if dst in dead_workers:
                     # Nothing is sent to a failed rank; the masked
                     # gating above already re-routed (dropped) every

@@ -24,8 +24,12 @@ from .modules import (
 )
 from .optim import SGD, Adam, Optimizer, WarmupInverseSqrt, clip_grad_norm
 from .serialization import (
+    checkpoint_placement,
     load_checkpoint,
+    load_extra_arrays,
+    merge_expert_shards,
     save_checkpoint,
+    shard_expert_state,
     stack_expert_state,
     unstack_expert_state,
 )
@@ -75,9 +79,13 @@ __all__ = [
     "inference_mode",
     "is_inference",
     "kaiming_normal",
+    "checkpoint_placement",
     "load_checkpoint",
+    "load_extra_arrays",
+    "merge_expert_shards",
     "normal",
     "save_checkpoint",
+    "shard_expert_state",
     "scatter_add",
     "scratch_empty",
     "scratch_zeros",

@@ -11,6 +11,22 @@ bank existed used one FeedForward module per expert
 "per-expert"``) for tools pinned to the old key schema.  The
 conversion is key-pattern based — it needs no model, only the state
 dict — so both directions round-trip exactly.
+
+Elastic re-sharding support (see :mod:`repro.moe.placement` and
+:mod:`repro.faults.recovery`):
+
+* checkpoints can record the live
+  :class:`~repro.moe.placement.ExpertPlacement` in their metadata
+  (``save_checkpoint(..., placement=...)`` /
+  :func:`checkpoint_placement`), so a resumed or recovered run knows
+  where every expert lived;
+* :func:`shard_expert_state` / :func:`merge_expert_shards` slice a
+  stacked bank into per-worker shards along any placement and
+  reassemble them losslessly — the redistribution a re-shard performs;
+* ``save_checkpoint(..., extra_arrays=...)`` stores non-parameter
+  arrays (optimizer moments, RNG state) under a reserved prefix,
+  readable via :func:`load_extra_arrays` — what a bit-exact
+  crash→resume needs beyond the parameters.
 """
 
 from __future__ import annotations
@@ -19,7 +35,7 @@ import json
 import os
 import re
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 import numpy as np
 
@@ -27,6 +43,13 @@ from .modules import Module
 
 #: Reserved archive key holding JSON metadata.
 _META_KEY = "__checkpoint_meta__"
+
+#: Reserved archive-key prefix for non-parameter arrays
+#: (``save_checkpoint(..., extra_arrays=...)``).
+_EXTRA_PREFIX = "__extra__."
+
+#: Metadata key under which ``save_checkpoint`` records a placement.
+_PLACEMENT_META_KEY = "expert_placement"
 
 #: Legacy per-expert parameter key:
 #: ``<bank>.experts.items.<i>.fc{1,2}.{weight,bias}`` (the old Experts
@@ -132,6 +155,8 @@ def save_checkpoint(
     path: Union[str, Path],
     metadata: Optional[Dict[str, Any]] = None,
     expert_layout: str = "stacked",
+    placement: Optional[Any] = None,
+    extra_arrays: Optional[Dict[str, np.ndarray]] = None,
 ) -> None:
     """Write a model's parameters (and optional JSON metadata) to disk.
 
@@ -140,6 +165,14 @@ def save_checkpoint(
     ``expert_layout="per-expert"`` writes MoE expert banks in the
     legacy one-FeedForward-per-expert key schema instead of the
     stacked default.
+
+    ``placement`` (an :class:`~repro.moe.placement.ExpertPlacement`)
+    is recorded in the metadata under ``"expert_placement"`` — read it
+    back with :func:`checkpoint_placement` — so recovery knows where
+    each expert lived when the checkpoint was cut.  ``extra_arrays``
+    stores non-parameter arrays (e.g. optimizer moments) under a
+    reserved key prefix; :func:`load_checkpoint` ignores them and
+    :func:`load_extra_arrays` returns them.
 
     The write is crash-safe: the archive is assembled in a ``.tmp``
     sibling in the target directory and published with an atomic
@@ -157,8 +190,23 @@ def save_checkpoint(
         state = unstack_expert_state(state)
     if _META_KEY in state:
         raise ValueError(f"parameter name {_META_KEY!r} is reserved")
+    for name in state:
+        if name.startswith(_EXTRA_PREFIX):
+            raise ValueError(
+                f"parameter name {name!r} collides with the reserved "
+                f"{_EXTRA_PREFIX!r} prefix"
+            )
     payload = dict(state)
+    for name, value in (extra_arrays or {}).items():
+        payload[_EXTRA_PREFIX + name] = np.asarray(value)
     meta = dict(metadata or {})
+    if placement is not None:
+        if _PLACEMENT_META_KEY in meta:
+            raise ValueError(
+                f"metadata key {_PLACEMENT_META_KEY!r} is reserved "
+                "for the placement= argument"
+            )
+        meta[_PLACEMENT_META_KEY] = placement.to_json_dict()
     payload[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
@@ -203,7 +251,154 @@ def load_checkpoint(
         state = {
             name: archive[name]
             for name in archive.files
-            if name != _META_KEY
+            if name != _META_KEY and not name.startswith(_EXTRA_PREFIX)
         }
     model.load_state_dict(stack_expert_state(state))
     return json.loads(meta_raw)
+
+
+def load_extra_arrays(path: Union[str, Path]) -> Dict[str, np.ndarray]:
+    """Read the ``extra_arrays`` stored by :func:`save_checkpoint`.
+
+    Returns ``{}`` for checkpoints written without extras.  Keys come
+    back exactly as passed to ``save_checkpoint`` (the reserved
+    on-disk prefix is stripped).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no checkpoint at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        return {
+            name[len(_EXTRA_PREFIX):]: archive[name]
+            for name in archive.files
+            if name.startswith(_EXTRA_PREFIX)
+        }
+
+
+def checkpoint_placement(metadata: Dict[str, Any]):
+    """The :class:`~repro.moe.placement.ExpertPlacement` recorded in
+    checkpoint metadata, or ``None`` if the checkpoint predates
+    placements (was saved without ``placement=``)."""
+    blob = metadata.get(_PLACEMENT_META_KEY)
+    if blob is None:
+        return None
+    from ..moe.placement import ExpertPlacement
+
+    return ExpertPlacement.from_json_dict(blob)
+
+
+def _bank_bases(state: Dict[str, np.ndarray], num_experts: int) -> List[str]:
+    """Key prefixes of every stacked expert bank with ``num_experts``
+    experts in ``state`` (``""`` for root-level ``w1``..``b2``)."""
+    bases = []
+    for key in state:
+        if key != "w1" and not key.endswith(".w1"):
+            continue
+        base = key[: -len("w1")]
+        names = {n: base + n for n in ("w1", "b1", "w2", "b2")}
+        if not all(n in state for n in names.values()):
+            continue
+        w1 = np.asarray(state[names["w1"]])
+        w2 = np.asarray(state[names["w2"]])
+        b1 = np.asarray(state[names["b1"]])
+        b2 = np.asarray(state[names["b2"]])
+        if w1.ndim != 3 or w1.shape[0] != num_experts:
+            continue
+        _, model_dim, hidden_dim = w1.shape
+        if (
+            w2.shape != (num_experts, hidden_dim, model_dim)
+            or b1.shape != (num_experts, 1, hidden_dim)
+            or b2.shape != (num_experts, 1, model_dim)
+        ):
+            continue
+        bases.append(base)
+    return bases
+
+
+def shard_expert_state(
+    state: Dict[str, np.ndarray], placement
+) -> List[Dict[str, np.ndarray]]:
+    """Slice stacked expert banks into per-worker shards.
+
+    ``placement`` is an :class:`~repro.moe.placement.ExpertPlacement`;
+    shard ``w`` holds, for every recognised bank, the parameter rows
+    of the experts ``placement.experts_of(w)`` stacked in ascending
+    global-id order (possibly zero rows).  Non-bank keys — gate
+    weights, embeddings — are replicated into every shard, mirroring
+    how non-expert parameters are data-parallel-replicated on the real
+    system.  :func:`merge_expert_shards` inverts this exactly, for any
+    placement: re-sharding a checkpoint from one placement to another
+    is ``merge`` then ``shard`` and loses nothing.
+    """
+    bases = set(_bank_bases(state, placement.num_experts))
+    bank_keys = {
+        base + name for base in bases for name in ("w1", "b1", "w2", "b2")
+    }
+    shards: List[Dict[str, np.ndarray]] = []
+    for w in range(placement.num_workers):
+        hosted = list(placement.experts_of(w))
+        shard = {}
+        for key, value in state.items():
+            if key in bank_keys:
+                shard[key] = np.asarray(value)[hosted]
+            else:
+                shard[key] = value
+        shards.append(shard)
+    return shards
+
+
+def merge_expert_shards(
+    shards: List[Dict[str, np.ndarray]], placement
+) -> Dict[str, np.ndarray]:
+    """Reassemble :func:`shard_expert_state` output into full banks.
+
+    The inverse redistribution: every expert's rows come from the
+    worker hosting it under ``placement``; replicated non-bank keys
+    are taken from the first shard holding them.  Raises if the shard
+    list does not match the placement's worker count or a bank row
+    count disagrees with a worker's hosted experts.
+    """
+    if len(shards) != placement.num_workers:
+        raise ValueError(
+            f"expected {placement.num_workers} shards, got {len(shards)}"
+        )
+    merged: Dict[str, np.ndarray] = {}
+    # Identify banks from shard key quartets; row counts are
+    # per-worker, so recognition uses the merged (global) shapes after
+    # a first pass collects every worker's slices.
+    for w, shard in enumerate(shards):
+        hosted = list(placement.experts_of(w))
+        for key, value in shard.items():
+            quartet = _quartet_base(key, shard)
+            if quartet is None:
+                merged.setdefault(key, value)
+                continue
+            value = np.asarray(value)
+            if value.shape[0] != len(hosted):
+                raise ValueError(
+                    f"shard {w} key {key}: {value.shape[0]} expert rows "
+                    f"but worker {w} hosts {len(hosted)} experts"
+                )
+            full = merged.get(key)
+            if full is None:
+                full = np.zeros(
+                    (placement.num_experts,) + value.shape[1:], value.dtype
+                )
+                merged[key] = full
+            full[hosted] = value
+    return merged
+
+
+def _quartet_base(key: str, state: Dict[str, np.ndarray]) -> Optional[str]:
+    """The bank prefix if ``key`` belongs to a complete stacked
+    w1/b1/w2/b2 quartet of 3-D/2-D-per-expert arrays, else ``None``."""
+    for name in ("w1", "b1", "w2", "b2"):
+        if key == name or key.endswith("." + name):
+            base = key[: -len(name)]
+            names = [base + n for n in ("w1", "b1", "w2", "b2")]
+            if all(n in state for n in names) and all(
+                np.asarray(state[n]).ndim == 3 for n in names
+            ):
+                return base
+            return None
+    return None

@@ -324,3 +324,22 @@ def test_infinite_window_slowdown_applies_forever():
     )
     assert inj.compute_finish(2, 1e6, 3.0) == pytest.approx(1e6 + 6.0)
     assert math.isinf(StragglerFault(0, 2.0).end_s)
+
+
+def test_backoff_delay_saturates_instead_of_overflowing():
+    # Regression: a pathological retry budget must never push the
+    # exponent far enough to overflow float64 to inf (which would halt
+    # the simulated clock forever on a single retry loop).
+    tf = TransientFaults(
+        probability=0.5, max_retries=100_000, backoff_s=1e-4,
+        backoff_multiplier=2.0,
+    )
+    capped = tf.backoff_delay(TransientFaults.BACKOFF_EXPONENT_CAP)
+    assert math.isfinite(capped)
+    assert tf.backoff_delay(10_000) == capped
+    assert tf.backoff_delay(100_000_000) == capped
+    # Below the cap the historical exponential schedule is unchanged.
+    for attempt in range(5):
+        assert tf.backoff_delay(attempt) == pytest.approx(
+            1e-4 * 2.0**attempt
+        )

@@ -154,3 +154,44 @@ def test_plan_smoke(tmp_path, capsys):
     # A rerun against the same cache replays every validation.
     assert main(args) == 0
     assert "cache hits 2/2" in capsys.readouterr().out
+
+
+def test_reshard_demo_checkpoint_strategy(capsys):
+    assert main(
+        ["reshard", "--strategy", "checkpoint", "--tokens", "32",
+         "--layers", "12"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "recovered == fresh group w/ same placement: True" in out
+    assert "checkpoint restore == pre-kill healthy output: True" in out
+    assert "scale-up" in out
+    assert "breakeven" in out
+
+
+def test_reshard_reinit_no_scale_up(capsys):
+    assert main(
+        ["reshard", "--strategy", "reinit", "--no-scale-up",
+         "--tokens", "32"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "recovered == fresh group w/ same placement: True" in out
+    assert "scale-up" not in out
+
+
+def test_faults_write_recovery_demo_then_reshard(tmp_path, capsys):
+    demo_path = tmp_path / "demo.json"
+    assert main(
+        ["faults", "--write-demo", str(demo_path), "--recovery",
+         "--slowdown", "3.0"]
+    ) == 0
+    assert "recovery demo written" in capsys.readouterr().out
+    blob = json.loads(demo_path.read_text())
+    assert blob["strategy"] == "reinit"
+    assert blob["faults"]["stragglers"][0]["slowdown"] == 3.0
+    assert main(["reshard", "--plan", str(demo_path)]) == 0
+    assert "all parity checks passed: True" in capsys.readouterr().out
+
+
+def test_faults_recovery_flag_requires_write_demo(capsys):
+    assert main(["faults", "--recovery"]) == 1
+    assert "--write-demo" in capsys.readouterr().out

@@ -1,0 +1,132 @@
+"""Crash → resume: a resumed run's loss trajectory is bit-for-bit.
+
+The elastic-recovery story needs more than parameter restore: resuming
+from a crash-safe checkpoint must continue the *exact* run, which
+requires the optimizer moments and step count alongside the weights
+(``save_checkpoint(extra_arrays=...)``).  These tests train an MoE LM,
+"crash" mid-run, resume from the checkpoint into a freshly constructed
+model, and require the remaining loss trajectory to equal the
+uninterrupted run's float for float.
+"""
+
+import pytest
+
+from repro.data import LMConfig, SyntheticLM
+from repro.models import TransformerLM
+from repro.nn import (
+    Adam,
+    clip_grad_norm,
+    load_checkpoint,
+    load_extra_arrays,
+    save_checkpoint,
+)
+
+
+NUM_EXPERTS = 4
+STEPS = 8
+CRASH_AT = 4  # steps completed before the crash
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticLM(
+        LMConfig(num_words=12, num_topics=2, seq_len=16, branching=2)
+    )
+
+
+def make_model(vocab_size, seed=0):
+    return TransformerLM(
+        vocab_size=vocab_size, model_dim=16, hidden_dim=24, num_layers=1,
+        num_heads=2, moe=True, num_experts=NUM_EXPERTS, max_seq_len=16,
+        seed=seed,
+    )
+
+
+def one_step(model, optimizer, tokens):
+    optimizer.zero_grad()
+    loss = model.loss(tokens)
+    loss.backward()
+    clip_grad_norm(model.parameters(), 1.0)
+    optimizer.step()
+    return float(loss.data)
+
+
+def optimizer_extras(optimizer):
+    extras = {}
+    for i, (m, v) in enumerate(zip(optimizer._m, optimizer._v)):
+        extras[f"adam.m.{i}"] = m
+        extras[f"adam.v.{i}"] = v
+    return extras
+
+
+def restore_optimizer(optimizer, path, step):
+    extras = load_extra_arrays(path)
+    optimizer._step = step
+    optimizer._m = [
+        extras[f"adam.m.{i}"] for i in range(len(optimizer.parameters))
+    ]
+    optimizer._v = [
+        extras[f"adam.v.{i}"] for i in range(len(optimizer.parameters))
+    ]
+
+
+def test_resumed_loss_trajectory_is_bit_identical(tmp_path, corpus):
+    batches = list(corpus.batches(4, STEPS, seed=0))
+
+    # Reference: the uninterrupted run.
+    model = make_model(corpus.vocab_size)
+    optimizer = Adam(model.parameters(), lr=3e-3)
+    reference = [one_step(model, optimizer, b) for b in batches]
+
+    # Crashed run: checkpoint (weights + Adam moments + step count)
+    # after CRASH_AT steps, then lose the process.
+    model = make_model(corpus.vocab_size)
+    optimizer = Adam(model.parameters(), lr=3e-3)
+    before_crash = [
+        one_step(model, optimizer, b) for b in batches[:CRASH_AT]
+    ]
+    ck = tmp_path / "mid-run.npz"
+    save_checkpoint(
+        model, ck,
+        metadata={"step": optimizer._step},
+        extra_arrays=optimizer_extras(optimizer),
+    )
+    del model, optimizer  # the crash
+
+    # Resume into a *differently seeded* fresh model: every parameter
+    # and optimizer slot must come from the checkpoint, not luck.
+    resumed = make_model(corpus.vocab_size, seed=1234)
+    meta = load_checkpoint(resumed, ck)
+    optimizer = Adam(resumed.parameters(), lr=3e-3)
+    restore_optimizer(optimizer, ck, meta["step"])
+    assert optimizer._step == CRASH_AT
+    after_resume = [
+        one_step(resumed, optimizer, b) for b in batches[CRASH_AT:]
+    ]
+
+    assert before_crash == reference[:CRASH_AT]
+    # The load-bearing claim: not close — identical.
+    assert after_resume == reference[CRASH_AT:]
+
+
+def test_resume_without_moments_diverges(tmp_path, corpus):
+    """Control: weights alone are NOT enough for bit-exact resume —
+    fresh Adam moments change the trajectory.  This is why
+    ``extra_arrays`` exists."""
+    batches = list(corpus.batches(4, STEPS, seed=0))
+    model = make_model(corpus.vocab_size)
+    optimizer = Adam(model.parameters(), lr=3e-3)
+    reference = [one_step(model, optimizer, b) for b in batches]
+
+    model = make_model(corpus.vocab_size)
+    optimizer = Adam(model.parameters(), lr=3e-3)
+    for b in batches[:CRASH_AT]:
+        one_step(model, optimizer, b)
+    ck = tmp_path / "weights-only.npz"
+    save_checkpoint(model, ck)
+
+    resumed = make_model(corpus.vocab_size, seed=1234)
+    load_checkpoint(resumed, ck)
+    cold = Adam(resumed.parameters(), lr=3e-3)  # moments lost
+    after = [one_step(resumed, cold, b) for b in batches[CRASH_AT:]]
+    assert after != reference[CRASH_AT:]

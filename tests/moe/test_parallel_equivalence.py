@@ -101,5 +101,54 @@ def test_expert_placement(rng):
     layer = make_layer(rng, num_experts=8)
     group = ExpertParallelGroup(layer, num_workers=4)
     assert group.experts_per_worker == 2
-    assert group._owner(0) == 0
-    assert group._owner(7) == 3
+    assert group.placement.owner(0) == 0
+    assert group.placement.owner(7) == 3
+    assert group.placement.is_contiguous
+    assert group.placement.version == 0
+
+
+def test_non_contiguous_placement_matches_single_process(rng):
+    from repro.moe import ExpertPlacement
+
+    layer = make_layer(rng, num_experts=8).eval()
+    tokens = rng.standard_normal((24, 16)).astype(np.float32)
+    single = layer(Tensor(tokens)).data
+    placement = ExpertPlacement(
+        8, 4, owners=(3, 0, 2, 0, 1, 3, 0, 2), version=5
+    )
+    for pipeline in ("sync", "overlap"):
+        group = ExpertParallelGroup(
+            layer, num_workers=4, pipeline=pipeline, num_chunks=2,
+            placement=placement,
+        )
+        out = group.forward_concatenated(list(np.split(tokens, 4)))
+        np.testing.assert_array_equal(out, single)
+
+
+def test_unequal_placement_counts(rng):
+    from repro.moe import ExpertPlacement
+
+    layer = make_layer(rng, num_experts=8).eval()
+    placement = ExpertPlacement(8, 3, owners=(0, 0, 0, 0, 1, 1, 2, 2))
+    group = ExpertParallelGroup(layer, num_workers=3, placement=placement)
+    # The historical uniform-shard attribute has no meaning here.
+    with pytest.raises(AttributeError):
+        group.experts_per_worker
+    tokens = rng.standard_normal((24, 16)).astype(np.float32)
+    out = group.forward_concatenated([tokens[:8], tokens[8:16], tokens[16:]])
+    np.testing.assert_array_equal(out, layer(Tensor(tokens)).data)
+
+
+def test_placement_shape_validation(rng):
+    from repro.moe import ExpertPlacement
+
+    layer = make_layer(rng, num_experts=8).eval()
+    group = ExpertParallelGroup(layer, num_workers=4)
+    with pytest.raises(ValueError, match="experts"):
+        group.set_placement(ExpertPlacement.contiguous(4, 4))
+    with pytest.raises(ValueError, match="workers"):
+        group.set_placement(ExpertPlacement.contiguous(8, 2))
+    with pytest.raises(ValueError):
+        ExpertParallelGroup(
+            layer, num_workers=2, placement=ExpertPlacement.contiguous(8, 4)
+        )
